@@ -1,0 +1,30 @@
+#pragma once
+// Shared helpers for the DMPS bench binaries.
+//
+// Every bench prints (a) a scenario table — the series the corresponding
+// paper figure / algorithm would show — and then (b) google-benchmark micro
+// rows for the hot paths involved. Scenario rows are pipe-separated so
+// EXPERIMENTS.md can quote them directly.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace dmps::bench {
+
+/// Print the header line of a scenario table.
+inline void table_header(const std::string& title, const std::string& columns) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+}
+
+/// Run any registered google-benchmark micro benches after the scenario part.
+inline int run_micro(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace dmps::bench
