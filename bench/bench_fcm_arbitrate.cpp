@@ -11,6 +11,7 @@
 // the degraded path, ~O(1) otherwise).
 
 #include <chrono>
+#include <cstdlib>
 
 #include "bench_common.hpp"
 #include "clock/drift_clock.hpp"
@@ -76,10 +77,18 @@ void regime_scenario() {
   for (const Case c : {Case{"full", 2, 0.0}, Case{"degraded", 10, 0.0},
                        Case{"abort", 10, 0.17}}) {
     Cluster cluster(16);
+    // Preload only priority-1 members (each may hold several feeds), so the
+    // priority-3 probe outranks every preloaded holder.
+    std::vector<MemberId> juniors;
+    for (const auto m : cluster.members) {
+      if (cluster.registry.member(m).priority == 1) juniors.push_back(m);
+    }
+    if (juniors.empty()) {
+      std::fprintf(stderr, "regime_scenario: cluster too small for priority-1 preload\n");
+      std::abort();
+    }
     for (int i = 0; i < c.preload_grants; ++i) {
-      // members[1..] cycle through priorities 2,3,1,2,3,1... (1 + i%3);
-      // use the priority-1 ones as preload so the probe outranks them.
-      const auto member = cluster.members[1 + (i % (cluster.members.size() - 1))];
+      const auto member = juniors[i % juniors.size()];
       (void)cluster.arbiter.arbitrate(cluster.request(member, 0.08));
     }
     if (c.preload_direct > 0) {

@@ -1,0 +1,67 @@
+#pragma once
+// DOCPN: the paper's Distributed Object Composition Petri Net.
+//
+// A Docpn is a compiled OCPN presentation plus *priority arcs* for user
+// interaction. add_skip(m) splices the skip machinery around m's place:
+//
+//          .-- (normal) --> [end:m] ---.
+//   (m) --+                            +--> (done:m) --> original consumer
+//          '-- (priority) -> [skip:m] -'
+//   (user:m) ---------------^
+//
+// The skip transition needs a token in the user place (deposited when the
+// user acts) AND the media token. With Options.priority_arcs the arc from
+// the media place is a priority arc — it may seize the still-immature
+// token, so the skip fires the moment the user acts. Without priority arcs
+// (the OCPN baseline the paper criticizes) the media token only becomes
+// available when it matures, so the "skip" can only take effect at the
+// media's natural end. That one flag is the whole §1 ablation.
+
+#include <unordered_map>
+
+#include "media/media.hpp"
+#include "ocpn/compile.hpp"
+#include "ocpn/spec.hpp"
+
+namespace dmps::docpn {
+
+class Docpn {
+ public:
+  struct Options {
+    bool priority_arcs = true;
+  };
+
+  struct SkipInfo {
+    petri::TransitionId skip_transition;
+    petri::TransitionId end_transition;
+    petri::PlaceId user_place;
+  };
+
+  Docpn(const media::MediaLibrary& library, ocpn::PresentationSpec spec,
+        Options options);
+
+  /// Make `medium` user-skippable. Returns false if the medium is not in
+  /// the presentation or was already registered. Must be called before an
+  /// engine is attached (it grows the net).
+  bool add_skip(media::MediaId medium);
+
+  bool skippable(media::MediaId medium) const {
+    return skips_.find(medium) != skips_.end();
+  }
+  const SkipInfo* skip_info(media::MediaId medium) const;
+  bool is_skip_transition(petri::TransitionId t) const;
+
+  const ocpn::CompiledPresentation& compiled() const { return compiled_; }
+  ocpn::CompiledPresentation& compiled() { return compiled_; }
+  const media::MediaLibrary& library() const { return library_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const media::MediaLibrary& library_;
+  ocpn::PresentationSpec spec_;
+  Options options_;
+  ocpn::CompiledPresentation compiled_;
+  std::unordered_map<media::MediaId, SkipInfo, util::IdHash> skips_;
+};
+
+}  // namespace dmps::docpn

@@ -1,0 +1,150 @@
+#pragma once
+// Floor control: group membership and the paper's §3 FCM-Arbitrate.
+//
+// A GroupRegistry tracks members (with a priority and a home host station)
+// and the conference groups they join. The FloorArbiter decides floor
+// requests against the requesting host's resource state, in the three
+// regimes of the Z specification:
+//
+//   availability >= alpha          full service: grant outright
+//   beta <= availability < alpha   degraded: grant after Media-Suspend of
+//                                  strictly lower-priority floor holders
+//   availability < beta            Abort-Arbitrate: refuse regardless
+//
+// release() is the matching Media-Resume path: freed capacity re-admits
+// suspended holders, highest priority first.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "clock/drift_clock.hpp"
+#include "floor/resource.hpp"
+#include "media/media.hpp"
+#include "util/ids.hpp"
+
+namespace dmps::floorctl {
+
+using MemberId = util::StrongId<struct MemberTag>;
+using GroupId = util::StrongId<struct GroupTag>;
+using HostId = util::StrongId<struct HostTag>;
+
+/// Floor control disciplines. kFreeAccess arbitrates purely on resources
+/// and priority; kChaired additionally reserves the floor for the chair.
+enum class FcmMode { kFreeAccess, kChaired };
+
+struct Member {
+  std::string name;
+  int priority = 1;  // higher outranks lower
+  HostId host;
+};
+
+struct Group {
+  std::string name;
+  FcmMode mode = FcmMode::kFreeAccess;
+  MemberId chair;
+  std::vector<MemberId> members;  // join order, for iteration
+  std::unordered_set<MemberId, util::IdHash> member_set;  // O(1) membership
+};
+
+class GroupRegistry {
+ public:
+  MemberId add_member(std::string name, int priority, HostId host);
+  GroupId create_group(std::string name, FcmMode mode, MemberId chair);
+  bool join(MemberId member, GroupId group);
+  bool leave(MemberId member, GroupId group);
+
+  const Member& member(MemberId id) const { return members_.at(id.value()); }
+  const Group& group(GroupId id) const { return groups_.at(id.value()); }
+  bool has_member(MemberId id) const { return id.value() < members_.size(); }
+  bool has_group(GroupId id) const { return id.value() < groups_.size(); }
+  bool in_group(MemberId member, GroupId group) const;
+  std::size_t member_count() const { return members_.size(); }
+  std::size_t group_count() const { return groups_.size(); }
+
+ private:
+  std::vector<Member> members_;
+  std::vector<Group> groups_;
+};
+
+struct FloorRequest {
+  GroupId group;
+  MemberId member;
+  /// Discipline the requester asks for. The stricter of this and the
+  /// group's own mode applies: either being kChaired restricts the floor
+  /// to the chair.
+  FcmMode mode = FcmMode::kFreeAccess;
+  HostId host;
+  media::QosRequirement qos;
+};
+
+enum class Outcome { kGranted, kGrantedDegraded, kAborted, kDenied };
+
+std::string_view to_string(Outcome outcome);
+
+struct Decision {
+  Outcome outcome = Outcome::kDenied;
+  std::vector<MemberId> suspended;  // holders Media-Suspended for this grant
+  std::string reason;
+  double availability_before = 0.0;
+  double availability_after = 0.0;
+};
+
+class FloorArbiter {
+ public:
+  FloorArbiter(GroupRegistry& registry, clk::Clock& clock,
+               resource::Thresholds thresholds);
+
+  /// Register a host station and its capacity. Replaces any prior entry.
+  void add_host(HostId host, resource::Resource capacity);
+  resource::HostResourceManager* host_manager(HostId host);
+
+  /// FCM-Arbitrate: decide one floor request.
+  Decision arbitrate(const FloorRequest& request);
+
+  /// Release every active floor `member` holds in `group`, then Media-Resume
+  /// suspended holders that now fit. Returns false if nothing was held.
+  bool release(MemberId member, GroupId group);
+
+  const resource::Thresholds& thresholds() const { return thresholds_; }
+  std::size_t active_grants() const { return active_count_; }
+  std::size_t suspended_grants() const { return suspended_count_; }
+
+ private:
+  struct Grant {
+    MemberId member;
+    GroupId group;
+    HostId host;
+    resource::Resource amount;
+    int priority = 0;
+    std::uint64_t seq = 0;  // grant order; older = smaller
+    util::TimePoint granted_at;
+    bool suspended = false;
+    bool released = false;
+  };
+  struct HostState {
+    resource::HostResourceManager manager;
+    std::vector<std::size_t> active;     // grant indices, unordered
+    std::vector<std::size_t> suspended;  // grant indices, unordered
+  };
+
+  static std::uint64_t holder_key(MemberId member, GroupId group) {
+    return (static_cast<std::uint64_t>(member.value()) << 32) | group.value();
+  }
+  void resume_suspended(HostState& host);
+
+  GroupRegistry& registry_;
+  clk::Clock& clock_;
+  resource::Thresholds thresholds_;
+  std::unordered_map<HostId::value_type, HostState> hosts_;
+  std::vector<Grant> grants_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> holder_index_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t active_count_ = 0;
+  std::size_t suspended_count_ = 0;
+};
+
+}  // namespace dmps::floorctl

@@ -1,0 +1,53 @@
+#pragma once
+// Media objects and their QoS demands.
+//
+// A MediaLibrary is the catalogue a presentation draws from: each item has
+// a type and an intrinsic playback duration (the duration becomes the timed
+// place's delay when the presentation compiles to a net). QosRequirement is
+// the resource vector a floor request presents to a host's resource
+// manager: fractions of the host's bandwidth / cpu / memory capacity.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/duration.hpp"
+#include "util/ids.hpp"
+
+namespace dmps::media {
+
+using MediaId = util::StrongId<struct MediaTag>;
+
+enum class MediaType { kVideo, kAudio, kImage, kText, kSlide, kAnimation };
+
+std::string_view to_string(MediaType type);
+
+struct MediaItem {
+  std::string name;
+  MediaType type = MediaType::kText;
+  util::Duration duration = util::Duration::zero();
+};
+
+/// Resource demand of one media feed, in host-capacity units.
+struct QosRequirement {
+  double bandwidth = 0.0;
+  double cpu = 0.0;
+  double memory = 0.0;
+};
+
+class MediaLibrary {
+ public:
+  MediaId add(std::string name, MediaType type, util::Duration duration);
+
+  const MediaItem& get(MediaId id) const { return items_.at(id.value()); }
+  /// Lookup by name; returns an invalid id when absent.
+  MediaId find(std::string_view name) const;
+
+  std::size_t size() const { return items_.size(); }
+  util::IdRange<MediaId> ids() const { return util::IdRange<MediaId>(items_.size()); }
+
+ private:
+  std::vector<MediaItem> items_;
+};
+
+}  // namespace dmps::media

@@ -1,0 +1,121 @@
+#pragma once
+// Simulated best-effort network between named nodes.
+//
+// One SimNetwork carries every message in a scenario. Each link applies a
+// LinkQuality model — fixed latency, uniform jitter, independent loss — so
+// the clock-sync layer above sees realistic asymmetric delays. A Demux is a
+// node's receive side: components (clock server, clock client, future floor
+// protocol endpoints) register per-message-type handlers on it.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/duration.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace dmps::net {
+
+using NodeId = util::StrongId<struct NodeTag>;
+
+/// Per-link delay/loss model: delivery delay = latency + U(0, jitter),
+/// independently per message and per direction; each message is dropped
+/// with probability `loss`.
+struct LinkQuality {
+  util::Duration latency = util::Duration::millis(1);
+  util::Duration jitter = util::Duration::zero();
+  double loss = 0.0;
+};
+
+/// A datagram. `ints` is the wire payload — enough for the control-plane
+/// protocols this library models (clock sync, floor signalling).
+struct Message {
+  NodeId from;
+  NodeId to;
+  std::string type;
+  std::vector<std::int64_t> ints;
+};
+
+class Demux;
+
+class SimNetwork {
+ public:
+  SimNetwork(sim::Simulator& sim, std::uint64_t seed, LinkQuality default_link);
+
+  NodeId add_node(std::string name);
+  const std::string& node_name(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Override the link model for the ordered pair (from, to).
+  void set_link(NodeId from, NodeId to, LinkQuality quality);
+  const LinkQuality& link(NodeId from, NodeId to) const;
+
+  /// Send `msg` (msg.from/msg.to must be valid nodes). Applies the link
+  /// model and delivers through the destination's Demux, if attached.
+  void send(Message msg);
+
+  sim::Simulator& sim() { return sim_; }
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  friend class Demux;
+  void attach(NodeId node, Demux* demux);
+  void detach(NodeId node, Demux* demux);
+  void deliver(const Message& msg);
+
+  struct Node {
+    std::string name;
+    Demux* demux = nullptr;
+  };
+
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  LinkQuality default_link_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, LinkQuality> link_overrides_;  // key: from<<32|to
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// A node's receive-side dispatcher. Handlers are keyed by Message::type.
+class Demux {
+ public:
+  Demux(SimNetwork& network, NodeId node);
+  ~Demux();
+  Demux(const Demux&) = delete;
+  Demux& operator=(const Demux&) = delete;
+
+  NodeId node() const { return node_; }
+  SimNetwork& network() { return network_; }
+  sim::Simulator& sim() { return network_.sim(); }
+
+  /// Register the handler for a message type. Each type has one owner:
+  /// returns false (and registers nothing) if the type is already taken,
+  /// so two components can't silently clobber each other's protocol.
+  [[nodiscard]] bool on(std::string type, std::function<void(const Message&)> handler);
+
+  /// Drop the handler for a message type. Components that registered a
+  /// handler capturing `this` must call this before they are destroyed —
+  /// in-flight messages may still be delivered afterwards.
+  void off(const std::string& type);
+
+  /// Convenience: send from this node.
+  void send(NodeId to, std::string type, std::vector<std::int64_t> ints);
+
+ private:
+  friend class SimNetwork;
+  void dispatch(const Message& msg);
+
+  SimNetwork& network_;
+  NodeId node_;
+  std::unordered_map<std::string, std::function<void(const Message&)>> handlers_;
+};
+
+}  // namespace dmps::net

@@ -1,0 +1,40 @@
+#pragma once
+// Spec -> timed Petri net compiler.
+//
+// Construction (classic OCPN): transitions are synchronization points,
+// places are intervals between them.
+//   media m             : one place (duration = m's) between T_in and T_out
+//   seq(c1..ck)         : fresh junction transitions chain the children
+//   par(c1..ck)         : every child spans the same T_in -> T_out, so
+//                         T_out fires when the *longest* branch matures
+// The whole presentation hangs between a start transition (fed by a
+// zero-duration start place — drop one token there to begin) and an end
+// transition (feeding a zero-duration end place — a token there means the
+// presentation finished).
+
+#include <unordered_map>
+#include <vector>
+
+#include "media/media.hpp"
+#include "ocpn/spec.hpp"
+#include "petri/net.hpp"
+
+namespace dmps::ocpn {
+
+struct CompiledPresentation {
+  petri::Net net;
+  petri::PlaceId start_place;
+  petri::PlaceId end_place;
+  petri::TransitionId start_transition;
+  petri::TransitionId end_transition;
+
+  /// place index -> medium it plays (invalid for structural places).
+  std::vector<media::MediaId> place_media;
+  /// medium -> its place (first occurrence if a medium appears twice).
+  std::unordered_map<media::MediaId, petri::PlaceId, util::IdHash> media_place;
+};
+
+CompiledPresentation compile(const PresentationSpec& spec,
+                             const media::MediaLibrary& library);
+
+}  // namespace dmps::ocpn

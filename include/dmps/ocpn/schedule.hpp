@@ -1,0 +1,53 @@
+#pragma once
+// Static analysis of a compiled presentation.
+//
+// compute_schedule derives each medium's exact playback window by firing
+// the net symbolically (longest-path over the transition DAG — transitions
+// fire when their slowest input branch matures). sync_sets groups media
+// that begin at the same instant: the paper's synchronous sets, i.e. what a
+// renderer must start atomically. verify_presentation checks the
+// structural invariants the compiler guarantees and user-assembled nets
+// might violate.
+
+#include <string>
+#include <vector>
+
+#include "ocpn/compile.hpp"
+#include "util/duration.hpp"
+
+namespace dmps::ocpn {
+
+struct ScheduleItem {
+  media::MediaId medium;
+  util::TimePoint start;
+  util::TimePoint end;
+};
+
+struct Schedule {
+  std::vector<ScheduleItem> items;  // sorted by start (stable in spec order)
+  util::TimePoint makespan;         // when the end transition fires
+};
+
+/// Throws std::runtime_error if the net has a cycle (no schedule exists).
+Schedule compute_schedule(const CompiledPresentation& compiled);
+
+struct SyncSet {
+  util::TimePoint start;
+  std::vector<media::MediaId> media;
+};
+
+/// Media grouped by identical start instant, ascending.
+std::vector<SyncSet> sync_sets(const Schedule& schedule);
+
+struct VerifyResult {
+  bool ok = true;
+  std::string detail;  // first violated invariant, empty when ok
+  explicit operator bool() const { return ok; }
+};
+
+/// Structural soundness: acyclic, fully reachable from the start place,
+/// every place single-producer / single-consumer, exactly one source
+/// (start) and one sink (end), no negative durations.
+VerifyResult verify_presentation(const CompiledPresentation& compiled);
+
+}  // namespace dmps::ocpn

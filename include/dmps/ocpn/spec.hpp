@@ -1,0 +1,46 @@
+#pragma once
+// Presentation specification: the author-facing combinator tree.
+//
+// A presentation is media leaves composed with seq (one after another) and
+// par (in lock-step, rejoining when the longest branch ends — OCPN's
+// synchronization-transition semantics). The spec is pure structure; it
+// compiles to a timed Petri net in compile.hpp.
+
+#include <vector>
+
+#include "media/media.hpp"
+#include "util/ids.hpp"
+
+namespace dmps::ocpn {
+
+using SpecNodeId = util::StrongId<struct SpecNodeTag>;
+
+enum class SpecNodeKind { kMedia, kSeq, kPar };
+
+struct SpecNode {
+  SpecNodeKind kind = SpecNodeKind::kMedia;
+  media::MediaId medium;               // kMedia only
+  std::vector<SpecNodeId> children;    // kSeq / kPar only
+};
+
+class PresentationSpec {
+ public:
+  SpecNodeId media(media::MediaId medium);
+  SpecNodeId seq(std::vector<SpecNodeId> children);
+  SpecNodeId par(std::vector<SpecNodeId> children);
+
+  void set_root(SpecNodeId root) { root_ = root; }
+  SpecNodeId root() const { return root_; }
+  bool has_root() const { return root_.valid(); }
+
+  const SpecNode& node(SpecNodeId id) const { return nodes_.at(id.value()); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  SpecNodeId push(SpecNode node);
+
+  std::vector<SpecNode> nodes_;
+  SpecNodeId root_;
+};
+
+}  // namespace dmps::ocpn

@@ -1,0 +1,97 @@
+#pragma once
+// Timed Petri net structure (places, transitions, weighted arcs).
+//
+// This is the substrate both presentation models compile to. Places carry a
+// duration — a token deposited at t "matures" at t + duration, the OCPN
+// reading of "this medium plays for d seconds". Arcs and transitions can be
+// marked `priority`: a priority arc may consume a token *before* it matures,
+// which is exactly DOCPN's user-interaction preemption; a priority
+// transition wins ties against normal transitions enabled at the same
+// instant. Execution semantics live in TimedEngine; this header is pure
+// structure so engines, compilers and verifiers share one representation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/duration.hpp"
+#include "util/ids.hpp"
+
+namespace dmps::petri {
+
+using PlaceId = util::StrongId<struct PlaceTag>;
+using TransitionId = util::StrongId<struct TransitionTag>;
+
+struct Place {
+  std::string name;
+  util::Duration duration = util::Duration::zero();
+};
+
+struct Transition {
+  std::string name;
+  bool priority = false;
+};
+
+struct Arc {
+  PlaceId place;
+  std::uint32_t weight = 1;
+  bool priority = false;  // input arcs only: may seize immature tokens
+};
+
+class Net {
+ public:
+  PlaceId add_place(std::string name, util::Duration duration);
+  TransitionId add_transition(std::string name, bool priority = false);
+
+  /// Input arc: tokens flow place -> transition. A second input arc from
+  /// the same place merges into the first (weights sum, priority sticks).
+  void add_input(TransitionId t, PlaceId p, std::uint32_t weight = 1,
+                 bool priority = false);
+  /// Output arc: tokens flow transition -> place.
+  void add_output(TransitionId t, PlaceId p, std::uint32_t weight = 1);
+
+  /// Remove the input arc place -> transition, if present. Used by the
+  /// DOCPN layer to splice end/skip transitions into a compiled net.
+  bool remove_input(TransitionId t, PlaceId p);
+
+  std::size_t place_count() const { return places_.size(); }
+  std::size_t transition_count() const { return transitions_.size(); }
+
+  const Place& place(PlaceId p) const { return places_.at(p.value()); }
+  const Transition& transition(TransitionId t) const {
+    return transitions_.at(t.value());
+  }
+
+  const std::vector<Arc>& inputs(TransitionId t) const {
+    return inputs_.at(t.value());
+  }
+  const std::vector<Arc>& outputs(TransitionId t) const {
+    return outputs_.at(t.value());
+  }
+
+  /// Transitions with an input arc from `p` (its consumers).
+  const std::vector<TransitionId>& consumers(PlaceId p) const {
+    return consumers_.at(p.value());
+  }
+  /// Transitions with an output arc into `p` (its producers).
+  const std::vector<TransitionId>& producers(PlaceId p) const {
+    return producers_.at(p.value());
+  }
+
+  util::IdRange<PlaceId> place_ids() const {
+    return util::IdRange<PlaceId>(places_.size());
+  }
+  util::IdRange<TransitionId> transition_ids() const {
+    return util::IdRange<TransitionId>(transitions_.size());
+  }
+
+ private:
+  std::vector<Place> places_;
+  std::vector<Transition> transitions_;
+  std::vector<std::vector<Arc>> inputs_;   // by transition
+  std::vector<std::vector<Arc>> outputs_;  // by transition
+  std::vector<std::vector<TransitionId>> consumers_;  // by place
+  std::vector<std::vector<TransitionId>> producers_;  // by place
+};
+
+}  // namespace dmps::petri

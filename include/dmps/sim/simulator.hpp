@@ -1,0 +1,74 @@
+#pragma once
+// Discrete-event simulator — the single timeline everything above it runs on.
+//
+// The network, the clocks and the DOCPN engine never read wall time; they
+// schedule callbacks here. That keeps every scenario exactly reproducible
+// and lets a 180-second presentation simulate in microseconds.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/duration.hpp"
+
+namespace dmps::sim {
+
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation instant.
+  util::TimePoint now() const { return now_; }
+
+  /// Schedule `cb` at absolute instant `at` (clamped to now() if in the past).
+  EventId schedule_at(util::TimePoint at, Callback cb);
+
+  /// Schedule `cb` after `delay` (negative delays clamp to "immediately").
+  EventId schedule_in(util::Duration delay, Callback cb);
+
+  /// Drop a pending event. Returns false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  /// Run every event with timestamp <= until, in (time, insertion) order,
+  /// then advance now() to `until`. Events scheduled while running are
+  /// processed too if they fall inside the window. No-op if until < now().
+  void run_until(util::TimePoint until);
+
+  /// Run the single next pending event (advancing now() to it).
+  /// Returns false when the queue is empty.
+  bool run_next();
+
+  std::size_t pending() const { return callbacks_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct QueueEntry {
+    util::TimePoint at;
+    std::uint64_t seq;  // insertion order breaks ties deterministically
+    EventId id;
+    bool operator>(const QueueEntry& o) const {
+      if (at != o.at) return o.at < at;
+      return o.seq < seq;
+    }
+  };
+
+  void dispatch(const QueueEntry& entry);
+
+  util::TimePoint now_ = util::TimePoint::zero();
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<QueueEntry>>
+      queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace dmps::sim

@@ -1,0 +1,72 @@
+#pragma once
+// Strongly-typed integer ids.
+//
+// Every layer hands out ids (MediaId, PlaceId, NodeId, MemberId, ...).
+// Making them distinct types — rather than bare size_t — means a schedule
+// can't be indexed with a HostId by accident, and later refactors (sharding
+// ids across backends, widening to 64 bits) only touch this header.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace dmps::util {
+
+template <class Tag, class V = std::uint32_t>
+class StrongId {
+ public:
+  using value_type = V;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(V v) : v_(v) {}
+
+  static constexpr StrongId invalid() { return StrongId(); }
+
+  constexpr V value() const { return v_; }
+  constexpr bool valid() const { return v_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.v_ < b.v_; }
+
+ private:
+  static constexpr V kInvalid = std::numeric_limits<V>::max();
+  V v_ = kInvalid;
+};
+
+/// std::hash adapter: `std::unordered_map<MediaId, T, util::IdHash>`.
+struct IdHash {
+  template <class Tag, class V>
+  std::size_t operator()(StrongId<Tag, V> id) const {
+    return std::hash<V>()(id.value());
+  }
+};
+
+/// Iterates StrongId(0) .. StrongId(count-1); lets callers write
+/// `for (auto t : net.transition_ids())` without the net exposing storage.
+template <class Id>
+class IdRange {
+ public:
+  class iterator {
+   public:
+    constexpr explicit iterator(typename Id::value_type v) : v_(v) {}
+    constexpr Id operator*() const { return Id(v_); }
+    constexpr iterator& operator++() { ++v_; return *this; }
+    constexpr bool operator!=(iterator o) const { return v_ != o.v_; }
+
+   private:
+    typename Id::value_type v_;
+  };
+
+  constexpr explicit IdRange(std::size_t count)
+      : count_(static_cast<typename Id::value_type>(count)) {}
+  constexpr iterator begin() const { return iterator(0); }
+  constexpr iterator end() const { return iterator(count_); }
+  constexpr std::size_t size() const { return count_; }
+
+ private:
+  typename Id::value_type count_;
+};
+
+}  // namespace dmps::util

@@ -1,0 +1,63 @@
+#include "docpn/docpn.hpp"
+
+#include <utility>
+
+namespace dmps::docpn {
+
+Docpn::Docpn(const media::MediaLibrary& library, ocpn::PresentationSpec spec,
+             Options options)
+    : library_(library),
+      spec_(std::move(spec)),
+      options_(options),
+      compiled_(ocpn::compile(spec_, library_)) {}
+
+bool Docpn::add_skip(media::MediaId medium) {
+  if (skippable(medium)) return false;
+  const auto it = compiled_.media_place.find(medium);
+  if (it == compiled_.media_place.end()) return false;
+  const petri::PlaceId place = it->second;
+
+  petri::Net& net = compiled_.net;
+  const auto& consumers = net.consumers(place);
+  if (consumers.size() != 1) return false;  // already rewired or malformed
+  const petri::TransitionId original = consumers.front();
+  net.remove_input(original, place);
+
+  const std::string& name = library_.get(medium).name;
+  const bool priority = options_.priority_arcs;
+
+  const auto t_end = net.add_transition("end:" + name);
+  const auto t_skip = net.add_transition("skip:" + name, priority);
+  const auto done = net.add_place("done:" + name, util::Duration::zero());
+  const auto user = net.add_place("user:" + name, util::Duration::zero());
+  compiled_.place_media.push_back(media::MediaId::invalid());
+  compiled_.place_media.push_back(media::MediaId::invalid());
+
+  // Normal path: the media token matures, end:m moves it to done:m.
+  net.add_input(t_end, place);
+  net.add_output(t_end, done);
+  // Skip path: a user token plus the media token (seized early iff the arc
+  // has priority) move through skip:m to the same done:m place.
+  net.add_input(t_skip, user);
+  net.add_input(t_skip, place, 1, priority);
+  net.add_output(t_skip, done);
+  // Downstream is none the wiser: it now consumes done:m.
+  net.add_input(original, done);
+
+  skips_.emplace(medium, SkipInfo{t_skip, t_end, user});
+  return true;
+}
+
+const Docpn::SkipInfo* Docpn::skip_info(media::MediaId medium) const {
+  const auto it = skips_.find(medium);
+  return it != skips_.end() ? &it->second : nullptr;
+}
+
+bool Docpn::is_skip_transition(petri::TransitionId t) const {
+  for (const auto& [medium, info] : skips_) {
+    if (info.skip_transition == t) return true;
+  }
+  return false;
+}
+
+}  // namespace dmps::docpn

@@ -1,0 +1,77 @@
+#include "docpn/engine.hpp"
+
+#include <utility>
+
+namespace dmps::docpn {
+
+DocpnEngine::DocpnEngine(sim::Simulator& sim, clk::AdmissionController& admission,
+                         Docpn& model, EngineEvents events)
+    : sim_(sim),
+      admission_(admission),
+      model_(model),
+      events_(std::move(events)),
+      engine_(model.compiled().net) {
+  engine_.on_consume = [this](petri::PlaceId p, petri::TransitionId t,
+                              util::TimePoint) {
+    const media::MediaId medium = model_.compiled().place_media[p.value()];
+    if (!medium.valid()) return;
+    if (events_.on_media_end) {
+      events_.on_media_end(medium, sim_.now(), model_.is_skip_transition(t));
+    }
+  };
+  engine_.on_produce = [this](petri::PlaceId p, util::TimePoint) {
+    const ocpn::CompiledPresentation& compiled = model_.compiled();
+    if (p == compiled.end_place) {
+      finished_ = true;
+      if (events_.on_finished) events_.on_finished(sim_.now());
+      return;
+    }
+    const media::MediaId medium = compiled.place_media[p.value()];
+    if (medium.valid() && events_.on_media_start) {
+      events_.on_media_start(medium, sim_.now());
+    }
+  };
+}
+
+DocpnEngine::~DocpnEngine() { *alive_ = false; }
+
+void DocpnEngine::start(util::TimePoint at) {
+  if (started_) return;
+  started_ = true;
+  engine_.put_token(model_.compiled().start_place, at);
+  drive();
+}
+
+bool DocpnEngine::skip(media::MediaId medium) {
+  const Docpn::SkipInfo* info = model_.skip_info(medium);
+  if (info == nullptr) return false;
+  const petri::PlaceId place = model_.compiled().media_place.at(medium);
+  if (engine_.tokens(place) == 0) return false;  // not currently playing
+  engine_.put_token(info->user_place, admission_.global_now());
+  drive();
+  return true;
+}
+
+void DocpnEngine::drive() {
+  while (const auto candidate = engine_.peek()) {
+    const util::TimePoint global = admission_.global_now();
+    if (candidate->when <= global) {
+      engine_.fire_next();
+      continue;
+    }
+    // Not due yet. Hold it with the admission controller unless an earlier
+    // (or equal) wake-up is already pending; a stale wake-up just re-enters
+    // drive() and re-evaluates.
+    if (!admitted_for_ || candidate->when < *admitted_for_) {
+      admitted_for_ = candidate->when;
+      admission_.admit(candidate->when, [this, alive = alive_] {
+        if (!*alive) return;
+        admitted_for_.reset();
+        drive();
+      });
+    }
+    return;
+  }
+}
+
+}  // namespace dmps::docpn

@@ -1,0 +1,267 @@
+#include "floor/arbiter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace dmps::floorctl {
+
+MemberId GroupRegistry::add_member(std::string name, int priority, HostId host) {
+  members_.push_back(Member{std::move(name), priority, host});
+  return MemberId(static_cast<MemberId::value_type>(members_.size() - 1));
+}
+
+GroupId GroupRegistry::create_group(std::string name, FcmMode mode, MemberId chair) {
+  if (!has_member(chair)) {
+    throw std::invalid_argument("create_group: chair is not a registered member");
+  }
+  groups_.push_back(Group{std::move(name), mode, chair, {chair}, {chair}});
+  return GroupId(static_cast<GroupId::value_type>(groups_.size() - 1));
+}
+
+bool GroupRegistry::join(MemberId member, GroupId group) {
+  if (!has_member(member) || !has_group(group)) return false;
+  Group& g = groups_[group.value()];
+  if (!g.member_set.insert(member).second) return false;  // already in
+  g.members.push_back(member);
+  return true;
+}
+
+bool GroupRegistry::leave(MemberId member, GroupId group) {
+  if (!has_group(group)) return false;
+  Group& g = groups_[group.value()];
+  if (member == g.chair) return false;  // the chair anchors the group
+  if (g.member_set.erase(member) == 0) return false;
+  g.members.erase(std::find(g.members.begin(), g.members.end(), member));
+  return true;
+}
+
+bool GroupRegistry::in_group(MemberId member, GroupId group) const {
+  if (!has_group(group)) return false;
+  const Group& g = groups_[group.value()];
+  return g.member_set.count(member) > 0;
+}
+
+std::string_view to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kGranted: return "granted";
+    case Outcome::kGrantedDegraded: return "granted-degraded";
+    case Outcome::kAborted: return "aborted";
+    case Outcome::kDenied: return "denied";
+  }
+  return "unknown";
+}
+
+FloorArbiter::FloorArbiter(GroupRegistry& registry, clk::Clock& clock,
+                           resource::Thresholds thresholds)
+    : registry_(registry), clock_(clock), thresholds_(thresholds) {}
+
+void FloorArbiter::add_host(HostId host, resource::Resource capacity) {
+  const auto it = hosts_.find(host.value());
+  if (it != hosts_.end()) {
+    // Replacing a live host voids its grants; otherwise release() would
+    // later chase grant indices the fresh HostState no longer tracks.
+    for (Grant& grant : grants_) {
+      if (grant.host != host || grant.released) continue;
+      grant.released = true;
+      if (grant.suspended) {
+        grant.suspended = false;
+        --suspended_count_;
+      } else {
+        --active_count_;
+      }
+      auto holder = holder_index_.find(holder_key(grant.member, grant.group));
+      if (holder != holder_index_.end()) {
+        auto& vec = holder->second;
+        vec.erase(std::remove(vec.begin(), vec.end(),
+                              static_cast<std::size_t>(&grant - grants_.data())),
+                  vec.end());
+        if (vec.empty()) holder_index_.erase(holder);
+      }
+    }
+    hosts_.erase(it);
+  }
+  hosts_.emplace(host.value(),
+                 HostState{resource::HostResourceManager(capacity), {}, {}});
+}
+
+resource::HostResourceManager* FloorArbiter::host_manager(HostId host) {
+  const auto it = hosts_.find(host.value());
+  return it != hosts_.end() ? &it->second.manager : nullptr;
+}
+
+Decision FloorArbiter::arbitrate(const FloorRequest& request) {
+  Decision decision;
+
+  if (!registry_.has_member(request.member) ||
+      !registry_.in_group(request.member, request.group)) {
+    decision.reason = "requester is not a member of the group";
+    return decision;
+  }
+  const auto host_it = hosts_.find(request.host.value());
+  if (host_it == hosts_.end()) {
+    decision.reason = "unknown host station";
+    return decision;
+  }
+  // The chaired discipline applies when the group runs chaired, or when
+  // the requester itself asks for chaired arbitration.
+  const Group& group = registry_.group(request.group);
+  if ((group.mode == FcmMode::kChaired || request.mode == FcmMode::kChaired) &&
+      request.member != group.chair) {
+    decision.reason = "chaired discipline: only the chair may seize the floor";
+    return decision;
+  }
+
+  HostState& host = host_it->second;
+  const double avail = host.manager.availability();
+  decision.availability_before = avail;
+  const resource::Resource need = resource::Resource::from_qos(request.qos);
+  const int priority = registry_.member(request.member).priority;
+  char buf[160];
+
+  // Regime 3: starved below beta — Abort-Arbitrate, no matter who asks.
+  if (avail < thresholds_.beta) {
+    decision.outcome = Outcome::kAborted;
+    std::snprintf(buf, sizeof(buf),
+                  "abort-arbitrate: availability %.3f < beta %.3f", avail,
+                  thresholds_.beta);
+    decision.reason = buf;
+    decision.availability_after = avail;
+    return decision;
+  }
+
+  const bool full_regime = avail >= thresholds_.alpha;
+
+  // Media-Suspend pass: if the request does not fit as-is, suspend strictly
+  // lower-priority holders (lowest priority first, then oldest) until it
+  // does. Runs in the degraded regime, or in the full regime for a request
+  // larger than the current headroom.
+  if (!host.manager.can_fit(need)) {
+    std::vector<std::size_t> victims;
+    for (const std::size_t idx : host.active) {
+      if (grants_[idx].priority < priority) victims.push_back(idx);
+    }
+    std::sort(victims.begin(), victims.end(),
+              [this](std::size_t a, std::size_t b) {
+                if (grants_[a].priority != grants_[b].priority) {
+                  return grants_[a].priority < grants_[b].priority;
+                }
+                return grants_[a].seq < grants_[b].seq;
+              });
+    std::vector<std::size_t> taken;
+    for (const std::size_t idx : victims) {
+      if (host.manager.can_fit(need)) break;
+      Grant& grant = grants_[idx];
+      host.manager.release(grant.amount);
+      grant.suspended = true;
+      taken.push_back(idx);
+    }
+    if (!host.manager.can_fit(need)) {
+      // Even suspending every junior holder is not enough: roll back.
+      for (const std::size_t idx : taken) {
+        Grant& grant = grants_[idx];
+        host.manager.reserve(grant.amount);
+        grant.suspended = false;
+      }
+      decision.outcome = Outcome::kDenied;
+      std::snprintf(buf, sizeof(buf),
+                    "denied: request does not fit even after media-suspend "
+                    "(availability %.3f)",
+                    avail);
+      decision.reason = buf;
+      decision.availability_after = host.manager.availability();
+      return decision;
+    }
+    // Commit the suspensions.
+    for (const std::size_t idx : taken) {
+      host.active.erase(std::find(host.active.begin(), host.active.end(), idx));
+      host.suspended.push_back(idx);
+      --active_count_;
+      ++suspended_count_;
+      decision.suspended.push_back(grants_[idx].member);
+    }
+  }
+
+  host.manager.reserve(need);
+  const std::size_t grant_idx = grants_.size();
+  grants_.push_back(Grant{request.member, request.group, request.host, need,
+                          priority, next_seq_++, clock_.now(), false, false});
+  host.active.push_back(grant_idx);
+  holder_index_[holder_key(request.member, request.group)].push_back(grant_idx);
+  ++active_count_;
+
+  if (!decision.suspended.empty()) {
+    decision.outcome = Outcome::kGrantedDegraded;
+    std::snprintf(buf, sizeof(buf),
+                  "media-suspend freed capacity: %zu holder(s) suspended",
+                  decision.suspended.size());
+    decision.reason = buf;
+  } else if (full_regime) {
+    decision.outcome = Outcome::kGranted;
+    decision.reason = "full-service regime";
+  } else {
+    decision.outcome = Outcome::kGrantedDegraded;
+    std::snprintf(buf, sizeof(buf),
+                  "degraded regime (availability %.3f < alpha %.3f), fits "
+                  "without suspension",
+                  avail, thresholds_.alpha);
+    decision.reason = buf;
+  }
+  decision.availability_after = host.manager.availability();
+  return decision;
+}
+
+bool FloorArbiter::release(MemberId member, GroupId group) {
+  const auto it = holder_index_.find(holder_key(member, group));
+  if (it == holder_index_.end() || it->second.empty()) return false;
+
+  std::vector<std::size_t> indices = std::move(it->second);
+  holder_index_.erase(it);
+
+  for (const std::size_t idx : indices) {
+    Grant& grant = grants_[idx];
+    if (grant.released) continue;
+    grant.released = true;
+    auto& host = hosts_.at(grant.host.value());
+    if (grant.suspended) {
+      grant.suspended = false;
+      host.suspended.erase(
+          std::find(host.suspended.begin(), host.suspended.end(), idx));
+      --suspended_count_;
+    } else {
+      host.manager.release(grant.amount);
+      host.active.erase(std::find(host.active.begin(), host.active.end(), idx));
+      --active_count_;
+      resume_suspended(host);
+    }
+  }
+  return true;
+}
+
+void FloorArbiter::resume_suspended(HostState& host) {
+  if (host.suspended.empty()) return;
+  // Media-Resume: highest priority first, then oldest, as capacity allows.
+  std::sort(host.suspended.begin(), host.suspended.end(),
+            [this](std::size_t a, std::size_t b) {
+              if (grants_[a].priority != grants_[b].priority) {
+                return grants_[a].priority > grants_[b].priority;
+              }
+              return grants_[a].seq < grants_[b].seq;
+            });
+  std::vector<std::size_t> still_suspended;
+  for (const std::size_t idx : host.suspended) {
+    Grant& grant = grants_[idx];
+    if (host.manager.reserve(grant.amount)) {
+      grant.suspended = false;
+      host.active.push_back(idx);
+      --suspended_count_;
+      ++active_count_;
+    } else {
+      still_suspended.push_back(idx);
+    }
+  }
+  host.suspended = std::move(still_suspended);
+}
+
+}  // namespace dmps::floorctl

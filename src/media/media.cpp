@@ -1,0 +1,31 @@
+#include "media/media.hpp"
+
+#include <utility>
+
+namespace dmps::media {
+
+std::string_view to_string(MediaType type) {
+  switch (type) {
+    case MediaType::kVideo: return "video";
+    case MediaType::kAudio: return "audio";
+    case MediaType::kImage: return "image";
+    case MediaType::kText: return "text";
+    case MediaType::kSlide: return "slide";
+    case MediaType::kAnimation: return "animation";
+  }
+  return "unknown";
+}
+
+MediaId MediaLibrary::add(std::string name, MediaType type, util::Duration duration) {
+  items_.push_back(MediaItem{std::move(name), type, duration});
+  return MediaId(static_cast<MediaId::value_type>(items_.size() - 1));
+}
+
+MediaId MediaLibrary::find(std::string_view name) const {
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].name == name) return MediaId(static_cast<MediaId::value_type>(i));
+  }
+  return MediaId::invalid();
+}
+
+}  // namespace dmps::media

@@ -1,0 +1,87 @@
+#include "net/sim_network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dmps::net {
+
+namespace {
+std::uint64_t pair_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+}  // namespace
+
+SimNetwork::SimNetwork(sim::Simulator& sim, std::uint64_t seed, LinkQuality default_link)
+    : sim_(sim), rng_(seed), default_link_(default_link) {}
+
+NodeId SimNetwork::add_node(std::string name) {
+  nodes_.push_back(Node{std::move(name), nullptr});
+  return NodeId(static_cast<NodeId::value_type>(nodes_.size() - 1));
+}
+
+const std::string& SimNetwork::node_name(NodeId id) const {
+  return nodes_.at(id.value()).name;
+}
+
+void SimNetwork::set_link(NodeId from, NodeId to, LinkQuality quality) {
+  link_overrides_[pair_key(from, to)] = quality;
+}
+
+const LinkQuality& SimNetwork::link(NodeId from, NodeId to) const {
+  const auto it = link_overrides_.find(pair_key(from, to));
+  return it != link_overrides_.end() ? it->second : default_link_;
+}
+
+void SimNetwork::send(Message msg) {
+  assert(msg.from.value() < nodes_.size() && msg.to.value() < nodes_.size());
+  ++sent_;
+  const LinkQuality& q = link(msg.from, msg.to);
+  if (q.loss > 0 && rng_.chance(q.loss)) {
+    ++dropped_;
+    return;
+  }
+  util::Duration delay = q.latency;
+  if (q.jitter > util::Duration::zero()) {
+    delay += util::Duration::from_seconds(rng_.uniform() * q.jitter.to_seconds());
+  }
+  sim_.schedule_in(delay, [this, m = std::move(msg)] { deliver(m); });
+}
+
+void SimNetwork::deliver(const Message& msg) {
+  Demux* demux = nodes_.at(msg.to.value()).demux;
+  if (demux == nullptr) return;  // nobody listening: silently dropped
+  ++delivered_;
+  demux->dispatch(msg);
+}
+
+void SimNetwork::attach(NodeId node, Demux* demux) {
+  nodes_.at(node.value()).demux = demux;
+}
+
+void SimNetwork::detach(NodeId node, Demux* demux) {
+  Node& n = nodes_.at(node.value());
+  if (n.demux == demux) n.demux = nullptr;
+}
+
+Demux::Demux(SimNetwork& network, NodeId node) : network_(network), node_(node) {
+  network_.attach(node_, this);
+}
+
+Demux::~Demux() { network_.detach(node_, this); }
+
+bool Demux::on(std::string type, std::function<void(const Message&)> handler) {
+  return handlers_.emplace(std::move(type), std::move(handler)).second;
+}
+
+void Demux::off(const std::string& type) { handlers_.erase(type); }
+
+void Demux::send(NodeId to, std::string type, std::vector<std::int64_t> ints) {
+  network_.send(Message{node_, to, std::move(type), std::move(ints)});
+}
+
+void Demux::dispatch(const Message& msg) {
+  const auto it = handlers_.find(msg.type);
+  if (it != handlers_.end()) it->second(msg);
+}
+
+}  // namespace dmps::net

@@ -1,0 +1,97 @@
+#include "ocpn/compile.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dmps::ocpn {
+
+namespace {
+
+class Compiler {
+ public:
+  Compiler(const PresentationSpec& spec, const media::MediaLibrary& library,
+           CompiledPresentation& out)
+      : spec_(spec), library_(library), out_(out) {}
+
+  /// Lay `node` between transitions `t_in` and `t_out`.
+  void build(SpecNodeId id, petri::TransitionId t_in, petri::TransitionId t_out) {
+    const SpecNode& node = spec_.node(id);
+    switch (node.kind) {
+      case SpecNodeKind::kMedia: {
+        const media::MediaItem& item = library_.get(node.medium);
+        const auto place = out_.net.add_place(item.name, item.duration);
+        out_.net.add_input(t_out, place);
+        out_.net.add_output(t_in, place);
+        out_.place_media.push_back(node.medium);
+        out_.media_place.emplace(node.medium, place);
+        break;
+      }
+      case SpecNodeKind::kSeq: {
+        if (node.children.empty()) {
+          link_empty(t_in, t_out);
+          break;
+        }
+        petri::TransitionId prev = t_in;
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+          const bool last = i + 1 == node.children.size();
+          const petri::TransitionId next =
+              last ? t_out
+                   : out_.net.add_transition("seq#" + std::to_string(junction_++));
+          build(node.children[i], prev, next);
+          prev = next;
+        }
+        break;
+      }
+      case SpecNodeKind::kPar: {
+        if (node.children.empty()) {
+          link_empty(t_in, t_out);
+          break;
+        }
+        for (const SpecNodeId child : node.children) build(child, t_in, t_out);
+        break;
+      }
+    }
+    // Keep place_media aligned with the net even for structural places.
+    while (out_.place_media.size() < out_.net.place_count()) {
+      out_.place_media.push_back(media::MediaId::invalid());
+    }
+  }
+
+ private:
+  /// Empty composites still need a token path so t_out stays fireable.
+  void link_empty(petri::TransitionId t_in, petri::TransitionId t_out) {
+    const auto filler = out_.net.add_place("empty", util::Duration::zero());
+    out_.net.add_output(t_in, filler);
+    out_.net.add_input(t_out, filler);
+  }
+
+  const PresentationSpec& spec_;
+  const media::MediaLibrary& library_;
+  CompiledPresentation& out_;
+  int junction_ = 0;
+};
+
+}  // namespace
+
+CompiledPresentation compile(const PresentationSpec& spec,
+                             const media::MediaLibrary& library) {
+  if (!spec.has_root()) throw std::invalid_argument("compile: spec has no root");
+
+  CompiledPresentation out;
+  out.start_transition = out.net.add_transition("start");
+  out.end_transition = out.net.add_transition("end");
+
+  out.start_place = out.net.add_place("p.start", util::Duration::zero());
+  out.net.add_input(out.start_transition, out.start_place);
+  out.place_media.push_back(media::MediaId::invalid());
+
+  out.end_place = out.net.add_place("p.end", util::Duration::zero());
+  out.net.add_output(out.end_transition, out.end_place);
+  out.place_media.push_back(media::MediaId::invalid());
+
+  Compiler(spec, library, out).build(spec.root(), out.start_transition,
+                                     out.end_transition);
+  return out;
+}
+
+}  // namespace dmps::ocpn

@@ -1,0 +1,145 @@
+#include "ocpn/schedule.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace dmps::ocpn {
+
+namespace {
+
+/// Kahn's algorithm over the transition DAG. Returns per-transition fire
+/// times; `processed` reports how many transitions were reachable (fewer
+/// than transition_count() means a cycle or disconnected structure).
+std::vector<util::TimePoint> fire_times(const petri::Net& net,
+                                        std::size_t& processed) {
+  const std::size_t n = net.transition_count();
+  std::vector<util::TimePoint> fire(n, util::TimePoint::zero());
+  std::vector<util::TimePoint> place_avail(net.place_count(),
+                                           util::TimePoint::zero());
+  std::vector<std::size_t> waiting(n, 0);
+
+  std::deque<petri::TransitionId> ready;
+  for (const auto t : net.transition_ids()) {
+    std::size_t produced_inputs = 0;
+    for (const auto& arc : net.inputs(t)) {
+      if (!net.producers(arc.place).empty()) ++produced_inputs;
+    }
+    waiting[t.value()] = produced_inputs;
+    if (produced_inputs == 0) ready.push_back(t);
+  }
+  // Source places (no producer) hold their initial token from instant zero.
+  for (const auto p : net.place_ids()) {
+    if (net.producers(p).empty()) {
+      place_avail[p.value()] = util::TimePoint::zero() + net.place(p).duration;
+    }
+  }
+
+  processed = 0;
+  while (!ready.empty()) {
+    const auto t = ready.front();
+    ready.pop_front();
+    ++processed;
+    util::TimePoint when = util::TimePoint::zero();
+    for (const auto& arc : net.inputs(t)) {
+      when = util::max_time(when, place_avail[arc.place.value()]);
+    }
+    fire[t.value()] = when;
+    for (const auto& arc : net.outputs(t)) {
+      place_avail[arc.place.value()] = when + net.place(arc.place).duration;
+      for (const auto consumer : net.consumers(arc.place)) {
+        if (--waiting[consumer.value()] == 0) ready.push_back(consumer);
+      }
+    }
+  }
+  return fire;
+}
+
+}  // namespace
+
+Schedule compute_schedule(const CompiledPresentation& compiled) {
+  const petri::Net& net = compiled.net;
+  // The longest-path recurrence assumes each place fires exactly once into
+  // exactly one consumer. Nets with alternative paths (a DOCPN skip splice,
+  // where done:m has both end:m and skip:m producing) or choices (one place
+  // feeding competing transitions) have no static schedule — reject loudly
+  // rather than return a wrong one.
+  for (const auto p : net.place_ids()) {
+    if (net.producers(p).size() > 1 || net.consumers(p).size() > 1) {
+      throw std::runtime_error(
+          "compute_schedule: place '" + net.place(p).name +
+          "' has multiple producers or consumers; static schedules require "
+          "a plain compiled OCPN net (no skip splices, no choices)");
+    }
+  }
+  std::size_t processed = 0;
+  const auto fire = fire_times(net, processed);
+  if (processed != net.transition_count()) {
+    throw std::runtime_error("compute_schedule: net is cyclic or disconnected");
+  }
+
+  Schedule schedule;
+  schedule.makespan = fire[compiled.end_transition.value()];
+  for (const auto p : net.place_ids()) {
+    const media::MediaId medium = compiled.place_media[p.value()];
+    if (!medium.valid()) continue;
+    const auto& producers = net.producers(p);
+    const util::TimePoint start =
+        producers.empty() ? util::TimePoint::zero() : fire[producers.front().value()];
+    schedule.items.push_back(
+        ScheduleItem{medium, start, start + net.place(p).duration});
+  }
+  std::stable_sort(
+      schedule.items.begin(), schedule.items.end(),
+      [](const ScheduleItem& a, const ScheduleItem& b) { return a.start < b.start; });
+  return schedule;
+}
+
+std::vector<SyncSet> sync_sets(const Schedule& schedule) {
+  std::vector<SyncSet> sets;
+  for (const ScheduleItem& item : schedule.items) {
+    if (sets.empty() || sets.back().start != item.start) {
+      sets.push_back(SyncSet{item.start, {}});
+    }
+    sets.back().media.push_back(item.medium);
+  }
+  return sets;
+}
+
+VerifyResult verify_presentation(const CompiledPresentation& compiled) {
+  const petri::Net& net = compiled.net;
+  for (const auto p : net.place_ids()) {
+    const petri::Place& place = net.place(p);
+    if (place.duration < util::Duration::zero()) {
+      return {false, "place '" + place.name + "' has negative duration"};
+    }
+    if (net.producers(p).size() > 1) {
+      return {false, "place '" + place.name + "' has multiple producers"};
+    }
+    if (net.consumers(p).size() > 1) {
+      return {false, "place '" + place.name + "' has multiple consumers"};
+    }
+    if (net.producers(p).empty() && p != compiled.start_place) {
+      return {false, "place '" + place.name + "' is an unexpected source"};
+    }
+    if (net.consumers(p).empty() && p != compiled.end_place) {
+      return {false, "place '" + place.name + "' is an unexpected sink"};
+    }
+  }
+  if (net.consumers(compiled.start_place) !=
+      std::vector<petri::TransitionId>{compiled.start_transition}) {
+    return {false, "start place must feed exactly the start transition"};
+  }
+  if (net.producers(compiled.end_place) !=
+      std::vector<petri::TransitionId>{compiled.end_transition}) {
+    return {false, "end place must be fed exactly by the end transition"};
+  }
+  std::size_t processed = 0;
+  (void)fire_times(net, processed);
+  if (processed != net.transition_count()) {
+    return {false, "net is cyclic or has unreachable transitions"};
+  }
+  return {};
+}
+
+}  // namespace dmps::ocpn

@@ -1,0 +1,33 @@
+#include "ocpn/spec.hpp"
+
+#include <utility>
+
+namespace dmps::ocpn {
+
+SpecNodeId PresentationSpec::push(SpecNode node) {
+  nodes_.push_back(std::move(node));
+  return SpecNodeId(static_cast<SpecNodeId::value_type>(nodes_.size() - 1));
+}
+
+SpecNodeId PresentationSpec::media(media::MediaId medium) {
+  SpecNode node;
+  node.kind = SpecNodeKind::kMedia;
+  node.medium = medium;
+  return push(std::move(node));
+}
+
+SpecNodeId PresentationSpec::seq(std::vector<SpecNodeId> children) {
+  SpecNode node;
+  node.kind = SpecNodeKind::kSeq;
+  node.children = std::move(children);
+  return push(std::move(node));
+}
+
+SpecNodeId PresentationSpec::par(std::vector<SpecNodeId> children) {
+  SpecNode node;
+  node.kind = SpecNodeKind::kPar;
+  node.children = std::move(children);
+  return push(std::move(node));
+}
+
+}  // namespace dmps::ocpn

@@ -1,0 +1,63 @@
+#include "petri/net.hpp"
+
+#include <utility>
+
+namespace dmps::petri {
+
+PlaceId Net::add_place(std::string name, util::Duration duration) {
+  places_.push_back(Place{std::move(name), duration});
+  consumers_.emplace_back();
+  producers_.emplace_back();
+  return PlaceId(static_cast<PlaceId::value_type>(places_.size() - 1));
+}
+
+TransitionId Net::add_transition(std::string name, bool priority) {
+  transitions_.push_back(Transition{std::move(name), priority});
+  inputs_.emplace_back();
+  outputs_.emplace_back();
+  return TransitionId(static_cast<TransitionId::value_type>(transitions_.size() - 1));
+}
+
+void Net::add_input(TransitionId t, PlaceId p, std::uint32_t weight, bool priority) {
+  // Merge duplicate arcs: the engine's enablement check evaluates each arc
+  // against the place's token pool independently, so two arcs from the same
+  // place must collapse into one with summed weight (priority dominates —
+  // a priority arc may always seize immature tokens).
+  for (Arc& arc : inputs_.at(t.value())) {
+    if (arc.place == p) {
+      arc.weight += weight;
+      arc.priority = arc.priority || priority;
+      return;
+    }
+  }
+  inputs_.at(t.value()).push_back(Arc{p, weight, priority});
+  consumers_.at(p.value()).push_back(t);
+}
+
+bool Net::remove_input(TransitionId t, PlaceId p) {
+  auto& arcs = inputs_.at(t.value());
+  bool removed = false;
+  for (auto it = arcs.begin(); it != arcs.end(); ++it) {
+    if (it->place == p) {
+      arcs.erase(it);
+      removed = true;
+      break;
+    }
+  }
+  if (!removed) return false;
+  auto& consumers = consumers_.at(p.value());
+  for (auto it = consumers.begin(); it != consumers.end(); ++it) {
+    if (*it == t) {
+      consumers.erase(it);
+      break;
+    }
+  }
+  return true;
+}
+
+void Net::add_output(TransitionId t, PlaceId p, std::uint32_t weight) {
+  outputs_.at(t.value()).push_back(Arc{p, weight, false});
+  producers_.at(p.value()).push_back(t);
+}
+
+}  // namespace dmps::petri

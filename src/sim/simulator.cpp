@@ -1,0 +1,58 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace dmps::sim {
+
+EventId Simulator::schedule_at(util::TimePoint at, Callback cb) {
+  const EventId id = next_id_++;
+  if (at < now_) at = now_;
+  callbacks_.emplace(id, std::move(cb));
+  queue_.push(QueueEntry{at, next_seq_++, id});
+  return id;
+}
+
+EventId Simulator::schedule_in(util::Duration delay, Callback cb) {
+  if (delay < util::Duration::zero()) delay = util::Duration::zero();
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) {
+  // The queue entry stays behind as a tombstone; dispatch skips it when the
+  // callback lookup misses. O(1) cancel without a decrease-key heap.
+  return callbacks_.erase(id) > 0;
+}
+
+void Simulator::dispatch(const QueueEntry& entry) {
+  const auto it = callbacks_.find(entry.id);
+  if (it == callbacks_.end()) return;  // cancelled
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  ++executed_;
+  cb();
+}
+
+void Simulator::run_until(util::TimePoint until) {
+  if (until < now_) return;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    now_ = util::max_time(now_, entry.at);
+    dispatch(entry);
+  }
+  now_ = util::max_time(now_, until);
+}
+
+bool Simulator::run_next() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (callbacks_.find(entry.id) == callbacks_.end()) continue;  // tombstone
+    now_ = util::max_time(now_, entry.at);
+    dispatch(entry);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dmps::sim

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "clock/drift_clock.hpp"
+#include "floor/arbiter.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace dmps;
+using namespace dmps::floorctl;
+using resource::Resource;
+using resource::Thresholds;
+
+struct ArbiterFixture : ::testing::Test {
+  sim::Simulator sim;
+  clk::TrueClock clock{sim};
+  GroupRegistry registry;
+  // beta = 1/16 so the exact-boundary cases below are binary-exact.
+  FloorArbiter arbiter{registry, clock, Thresholds{0.25, 0.0625}};
+  HostId host{1};
+  GroupId group;
+  MemberId chair, low1, low2, low3, mid;
+
+  ArbiterFixture() {
+    arbiter.add_host(host, Resource{1.0, 1.0, 1.0});
+    chair = registry.add_member("chair", 3, host);
+    group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+    low1 = registry.add_member("low1", 1, host);
+    low2 = registry.add_member("low2", 1, host);
+    low3 = registry.add_member("low3", 1, host);
+    mid = registry.add_member("mid", 2, host);
+    for (const auto m : {low1, low2, low3, mid}) registry.join(m, group);
+  }
+
+  FloorRequest req(MemberId m, double q) const {
+    FloorRequest r;
+    r.group = group;
+    r.member = m;
+    r.host = host;
+    r.qos = media::QosRequirement{q, q, q};
+    return r;
+  }
+};
+
+TEST_F(ArbiterFixture, FullRegimeGrantsOutright) {
+  const auto d = arbiter.arbitrate(req(low1, 0.5));
+  EXPECT_EQ(d.outcome, Outcome::kGranted);
+  EXPECT_TRUE(d.suspended.empty());
+  EXPECT_EQ(d.availability_before, 1.0);
+  EXPECT_EQ(d.availability_after, 0.5);
+}
+
+TEST_F(ArbiterFixture, AvailabilityExactlyAlphaIsStillFullService) {
+  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.75)).outcome, Outcome::kGranted);
+  ASSERT_EQ(arbiter.host_manager(host)->availability(), 0.25);
+  const auto d = arbiter.arbitrate(req(chair, 0.1));
+  EXPECT_EQ(d.outcome, Outcome::kGranted);  // avail == alpha: full regime
+}
+
+TEST_F(ArbiterFixture, JustBelowAlphaIsDegradedEvenWhenItFits) {
+  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.8)).outcome, Outcome::kGranted);
+  const auto d = arbiter.arbitrate(req(chair, 0.1));
+  EXPECT_EQ(d.outcome, Outcome::kGrantedDegraded);
+  EXPECT_TRUE(d.suspended.empty());  // fit without Media-Suspend
+}
+
+TEST_F(ArbiterFixture, DegradedRegimeSuspendsLowestPriorityFirst) {
+  // Three low-priority feeds of 0.25 each (the third lands exactly on
+  // alpha, still full service), then a mid feed drops availability to 0.15
+  // — degraded. The chair asks for 0.50: two suspensions are needed, and
+  // they must be the two *lowest-priority, oldest* holders — never mid.
+  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.25)).outcome, Outcome::kGranted);
+  ASSERT_EQ(arbiter.arbitrate(req(low2, 0.25)).outcome, Outcome::kGranted);
+  ASSERT_EQ(arbiter.arbitrate(req(low3, 0.25)).outcome, Outcome::kGranted);
+  ASSERT_EQ(arbiter.arbitrate(req(mid, 0.10)).outcome, Outcome::kGranted);
+  ASSERT_NEAR(arbiter.host_manager(host)->availability(), 0.15, 1e-12);
+
+  const auto d = arbiter.arbitrate(req(chair, 0.50));
+  EXPECT_EQ(d.outcome, Outcome::kGrantedDegraded);
+  EXPECT_EQ(d.suspended, (std::vector<MemberId>{low1, low2}));
+  EXPECT_EQ(arbiter.suspended_grants(), 2u);
+}
+
+TEST_F(ArbiterFixture, AvailabilityExactlyBetaIsDegradedNotAbort) {
+  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.9375)).outcome, Outcome::kGranted);
+  ASSERT_EQ(arbiter.host_manager(host)->availability(), 0.0625);  // == beta
+  const auto d = arbiter.arbitrate(req(chair, 0.3));
+  EXPECT_EQ(d.outcome, Outcome::kGrantedDegraded);
+  EXPECT_EQ(d.suspended, (std::vector<MemberId>{low1}));
+}
+
+TEST_F(ArbiterFixture, BelowBetaAbortsRegardlessOfPriority) {
+  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.96)).outcome, Outcome::kGranted);
+  const auto d = arbiter.arbitrate(req(chair, 0.01));
+  EXPECT_EQ(d.outcome, Outcome::kAborted);
+  EXPECT_TRUE(d.suspended.empty());
+  EXPECT_NE(d.reason.find("abort-arbitrate"), std::string::npos);
+}
+
+TEST_F(ArbiterFixture, EqualPriorityIsNeverSuspended) {
+  ASSERT_EQ(arbiter.arbitrate(req(mid, 0.5)).outcome, Outcome::kGranted);
+  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.35)).outcome, Outcome::kGranted);
+  // mid asks for more than free (0.15) — only *strictly lower* priority
+  // (low1) may be suspended; that frees 0.35, enough for 0.4.
+  const auto d1 = arbiter.arbitrate(req(mid, 0.4));
+  EXPECT_EQ(d1.outcome, Outcome::kGrantedDegraded);
+  EXPECT_EQ(d1.suspended, (std::vector<MemberId>{low1}));
+  // Now only equal-priority holders remain: a further oversized request is
+  // denied, and the tentative state rolls back (nothing newly suspended).
+  const auto d2 = arbiter.arbitrate(req(mid, 0.5));
+  EXPECT_EQ(d2.outcome, Outcome::kDenied);
+  EXPECT_EQ(arbiter.suspended_grants(), 1u);
+}
+
+TEST_F(ArbiterFixture, ReleaseTriggersMediaResume) {
+  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.5)).outcome, Outcome::kGranted);
+  ASSERT_EQ(arbiter.arbitrate(req(mid, 0.4)).outcome, Outcome::kGranted);
+  const auto d = arbiter.arbitrate(req(chair, 0.5));
+  ASSERT_EQ(d.outcome, Outcome::kGrantedDegraded);
+  ASSERT_EQ(d.suspended, (std::vector<MemberId>{low1}));
+  ASSERT_EQ(arbiter.active_grants(), 2u);
+
+  // The chair leaves: low1's suspended feed fits again and resumes.
+  EXPECT_TRUE(arbiter.release(chair, group));
+  EXPECT_EQ(arbiter.suspended_grants(), 0u);
+  EXPECT_EQ(arbiter.active_grants(), 2u);
+  EXPECT_NEAR(arbiter.host_manager(host)->availability(), 0.1, 1e-12);
+}
+
+TEST_F(ArbiterFixture, ReleaseIsIdempotentAndScopedToTheGroup) {
+  EXPECT_FALSE(arbiter.release(low1, group));  // nothing held
+  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.2)).outcome, Outcome::kGranted);
+  EXPECT_TRUE(arbiter.release(low1, group));
+  EXPECT_FALSE(arbiter.release(low1, group));
+  EXPECT_EQ(arbiter.active_grants(), 0u);
+  EXPECT_DOUBLE_EQ(arbiter.host_manager(host)->availability(), 1.0);
+}
+
+TEST_F(ArbiterFixture, MembershipAndModeRules) {
+  const auto outsider = registry.add_member("outsider", 5, host);
+  EXPECT_EQ(arbiter.arbitrate(req(outsider, 0.1)).outcome, Outcome::kDenied);
+
+  const auto chaired =
+      registry.create_group("panel", FcmMode::kChaired, chair);
+  registry.join(mid, chaired);
+  FloorRequest r = req(mid, 0.1);
+  r.group = chaired;
+  EXPECT_EQ(arbiter.arbitrate(r).outcome, Outcome::kDenied);
+  r.member = chair;
+  EXPECT_EQ(arbiter.arbitrate(r).outcome, Outcome::kGranted);
+
+  FloorRequest bad_host = req(chair, 0.1);
+  bad_host.host = HostId{99};
+  EXPECT_EQ(arbiter.arbitrate(bad_host).outcome, Outcome::kDenied);
+
+  // Request-side chaired discipline binds too, even in a free-access group.
+  FloorRequest strict = req(mid, 0.1);
+  strict.mode = FcmMode::kChaired;
+  EXPECT_EQ(arbiter.arbitrate(strict).outcome, Outcome::kDenied);
+  strict.member = chair;
+  EXPECT_EQ(arbiter.arbitrate(strict).outcome, Outcome::kGranted);
+}
+
+TEST_F(ArbiterFixture, ReRegisteringAHostVoidsItsGrants) {
+  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.5)).outcome, Outcome::kGranted);
+  ASSERT_EQ(arbiter.active_grants(), 1u);
+  arbiter.add_host(host, Resource{2.0, 2.0, 2.0});  // replacement wipes state
+  EXPECT_EQ(arbiter.active_grants(), 0u);
+  EXPECT_DOUBLE_EQ(arbiter.host_manager(host)->availability(), 1.0);
+  EXPECT_FALSE(arbiter.release(low1, group));  // old grant is gone, no crash
+  EXPECT_EQ(arbiter.arbitrate(req(low1, 0.5)).outcome, Outcome::kGranted);
+}
+
+TEST(GroupRegistry, JoinLeaveChairRules) {
+  GroupRegistry registry;
+  const auto chair = registry.add_member("chair", 3, HostId{1});
+  const auto member = registry.add_member("m", 1, HostId{1});
+  const auto group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+  EXPECT_TRUE(registry.in_group(chair, group));  // chair auto-joins
+  EXPECT_TRUE(registry.join(member, group));
+  EXPECT_FALSE(registry.join(member, group));  // already in
+  EXPECT_FALSE(registry.leave(chair, group));  // the chair anchors the group
+  EXPECT_TRUE(registry.leave(member, group));
+  EXPECT_FALSE(registry.in_group(member, group));
+  // A group cannot be chaired by an unregistered member.
+  EXPECT_THROW(registry.create_group("bad", FcmMode::kFreeAccess, MemberId{}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "media/media.hpp"
+#include "ocpn/compile.hpp"
+#include "ocpn/schedule.hpp"
+#include "ocpn/spec.hpp"
+
+namespace {
+
+using namespace dmps;
+using util::Duration;
+using util::TimePoint;
+
+/// The paper's Fig. 1 presentation, as bench_fig1_schedule builds it.
+struct Fig1 {
+  media::MediaLibrary lib;
+  media::MediaId title = lib.add("title", media::MediaType::kSlide, Duration::seconds(5));
+  media::MediaId video = lib.add("video", media::MediaType::kVideo, Duration::seconds(60));
+  media::MediaId audio = lib.add("audio", media::MediaType::kAudio, Duration::seconds(60));
+  media::MediaId slide1 = lib.add("slide1", media::MediaType::kSlide, Duration::seconds(30));
+  media::MediaId slide2 = lib.add("slide2", media::MediaType::kSlide, Duration::seconds(30));
+  media::MediaId caption = lib.add("caption", media::MediaType::kText, Duration::seconds(60));
+  media::MediaId summary = lib.add("summary", media::MediaType::kText, Duration::seconds(10));
+  ocpn::PresentationSpec spec;
+  Fig1() {
+    spec.set_root(spec.seq(
+        {spec.media(title),
+         spec.par({spec.media(video), spec.media(audio), spec.media(caption),
+                   spec.seq({spec.media(slide1), spec.media(slide2)})}),
+         spec.media(summary)}));
+  }
+};
+
+double start_of(const ocpn::Schedule& s, media::MediaId m) {
+  for (const auto& item : s.items) {
+    if (item.medium == m) return item.start.to_seconds();
+  }
+  return -1;
+}
+double end_of(const ocpn::Schedule& s, media::MediaId m) {
+  for (const auto& item : s.items) {
+    if (item.medium == m) return item.end.to_seconds();
+  }
+  return -1;
+}
+
+TEST(OcpnSchedule, Fig1ExactInstants) {
+  Fig1 f;
+  const auto compiled = ocpn::compile(f.spec, f.lib);
+  const auto schedule = ocpn::compute_schedule(compiled);
+
+  ASSERT_EQ(schedule.items.size(), 7u);
+  EXPECT_EQ(start_of(schedule, f.title), 0.0);
+  EXPECT_EQ(end_of(schedule, f.title), 5.0);
+  EXPECT_EQ(start_of(schedule, f.video), 5.0);
+  EXPECT_EQ(end_of(schedule, f.video), 65.0);
+  EXPECT_EQ(start_of(schedule, f.audio), 5.0);
+  EXPECT_EQ(end_of(schedule, f.audio), 65.0);
+  EXPECT_EQ(start_of(schedule, f.caption), 5.0);
+  EXPECT_EQ(end_of(schedule, f.caption), 65.0);
+  EXPECT_EQ(start_of(schedule, f.slide1), 5.0);
+  EXPECT_EQ(end_of(schedule, f.slide1), 35.0);
+  EXPECT_EQ(start_of(schedule, f.slide2), 35.0);
+  EXPECT_EQ(end_of(schedule, f.slide2), 65.0);
+  EXPECT_EQ(start_of(schedule, f.summary), 65.0);
+  EXPECT_EQ(end_of(schedule, f.summary), 75.0);
+  EXPECT_EQ(schedule.makespan.to_seconds(), 75.0);
+}
+
+TEST(OcpnSchedule, Fig1SyncSets) {
+  Fig1 f;
+  const auto schedule = ocpn::compute_schedule(ocpn::compile(f.spec, f.lib));
+  const auto sets = ocpn::sync_sets(schedule);
+
+  ASSERT_EQ(sets.size(), 4u);
+  EXPECT_EQ(sets[0].start.to_seconds(), 0.0);
+  EXPECT_EQ(sets[0].media, (std::vector<media::MediaId>{f.title}));
+  EXPECT_EQ(sets[1].start.to_seconds(), 5.0);
+  // The 4-way synchronous start: video, audio, caption and the first slide.
+  EXPECT_EQ(sets[1].media.size(), 4u);
+  EXPECT_EQ(sets[2].start.to_seconds(), 35.0);
+  EXPECT_EQ(sets[2].media, (std::vector<media::MediaId>{f.slide2}));
+  EXPECT_EQ(sets[3].start.to_seconds(), 65.0);
+  EXPECT_EQ(sets[3].media, (std::vector<media::MediaId>{f.summary}));
+}
+
+TEST(OcpnVerify, AcceptsCompiledPresentation) {
+  Fig1 f;
+  const auto compiled = ocpn::compile(f.spec, f.lib);
+  const auto result = ocpn::verify_presentation(compiled);
+  EXPECT_TRUE(static_cast<bool>(result)) << result.detail;
+}
+
+TEST(OcpnVerify, RejectsDanglingSinkAndCycle) {
+  Fig1 f;
+  // Dangling sink: a place no transition ever consumes.
+  auto with_sink = ocpn::compile(f.spec, f.lib);
+  with_sink.net.add_place("orphan", Duration::seconds(1));
+  with_sink.place_media.push_back(media::MediaId::invalid());
+  const auto sink_result = ocpn::verify_presentation(with_sink);
+  EXPECT_FALSE(sink_result.ok);
+  EXPECT_NE(sink_result.detail.find("orphan"), std::string::npos);
+
+  // A cycle: end transition feeds a place consumed by the start transition.
+  auto with_cycle = ocpn::compile(f.spec, f.lib);
+  const auto back = with_cycle.net.add_place("back", Duration::zero());
+  with_cycle.place_media.push_back(media::MediaId::invalid());
+  with_cycle.net.add_output(with_cycle.end_transition, back);
+  with_cycle.net.add_input(with_cycle.start_transition, back);
+  EXPECT_FALSE(ocpn::verify_presentation(with_cycle).ok);
+  EXPECT_THROW(ocpn::compute_schedule(with_cycle), std::runtime_error);
+
+  // A choice (one place feeding two transitions) has no static schedule.
+  auto with_choice = ocpn::compile(f.spec, f.lib);
+  const auto rival = with_choice.net.add_transition("rival");
+  with_choice.net.add_input(rival, with_choice.media_place.at(f.title));
+  EXPECT_FALSE(ocpn::verify_presentation(with_choice).ok);
+  EXPECT_THROW(ocpn::compute_schedule(with_choice), std::runtime_error);
+}
+
+TEST(OcpnCompile, NetShapeAndMediaMapping) {
+  Fig1 f;
+  const auto compiled = ocpn::compile(f.spec, f.lib);
+  // 7 media places + start + end.
+  EXPECT_EQ(compiled.net.place_count(), 9u);
+  EXPECT_EQ(compiled.media_place.size(), 7u);
+  for (const auto& [medium, place] : compiled.media_place) {
+    EXPECT_EQ(compiled.place_media.at(place.value()), medium);
+    EXPECT_EQ(compiled.net.place(place).duration, f.lib.get(medium).duration);
+  }
+  EXPECT_THROW(ocpn::compile(ocpn::PresentationSpec{}, f.lib),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "petri/net.hpp"
+#include "petri/timed_engine.hpp"
+
+namespace {
+
+using namespace dmps;
+using petri::Net;
+using petri::TimedEngine;
+using util::Duration;
+using util::TimePoint;
+
+/// start -(p1,2s)-> t1 -(p2,3s)-> t2 -(p3,0s)
+Net chain_net(petri::PlaceId& p1, petri::PlaceId& p3) {
+  Net net;
+  p1 = net.add_place("p1", Duration::seconds(2));
+  const auto p2 = net.add_place("p2", Duration::seconds(3));
+  p3 = net.add_place("p3", Duration::zero());
+  const auto t1 = net.add_transition("t1");
+  const auto t2 = net.add_transition("t2");
+  net.add_input(t1, p1);
+  net.add_output(t1, p2);
+  net.add_input(t2, p2);
+  net.add_output(t2, p3);
+  return net;
+}
+
+TEST(TimedEngine, ChainFiresAtMaturityInstants) {
+  petri::PlaceId p1, p3;
+  const Net net = chain_net(p1, p3);
+  TimedEngine engine(net);
+  std::vector<double> fire_times;
+  engine.on_fire = [&](petri::TransitionId, TimePoint at) {
+    fire_times.push_back(at.to_seconds());
+  };
+  engine.put_token(p1, TimePoint::zero());
+  EXPECT_EQ(engine.run(), 2u);
+  EXPECT_EQ(fire_times, (std::vector<double>{2.0, 5.0}));
+  EXPECT_EQ(engine.tokens(p3), 1u);
+  EXPECT_EQ(engine.now(), TimePoint::from_seconds(5.0));
+}
+
+TEST(TimedEngine, SyncTransitionWaitsForSlowestBranch) {
+  Net net;
+  const auto fast = net.add_place("fast", Duration::seconds(1));
+  const auto slow = net.add_place("slow", Duration::seconds(4));
+  const auto out = net.add_place("out", Duration::zero());
+  const auto sync = net.add_transition("sync");
+  net.add_input(sync, fast);
+  net.add_input(sync, slow);
+  net.add_output(sync, out);
+
+  TimedEngine engine(net);
+  engine.put_token(fast, TimePoint::zero());
+  engine.put_token(slow, TimePoint::zero());
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_EQ(engine.now(), TimePoint::from_seconds(4.0));
+}
+
+TEST(TimedEngine, PriorityArcSeizesImmatureToken) {
+  Net net;
+  const auto media = net.add_place("media", Duration::seconds(10));
+  const auto user = net.add_place("user", Duration::zero());
+  const auto out = net.add_place("out", Duration::zero());
+  const auto t_end = net.add_transition("end");
+  const auto t_skip = net.add_transition("skip", /*priority=*/true);
+  net.add_input(t_end, media);
+  net.add_output(t_end, out);
+  net.add_input(t_skip, user);
+  net.add_input(t_skip, media, 1, /*priority=*/true);
+  net.add_output(t_skip, out);
+
+  TimedEngine engine(net);
+  std::vector<std::string> fired;
+  engine.on_fire = [&](petri::TransitionId t, TimePoint at) {
+    fired.push_back(net.transition(t).name + "@" +
+                    std::to_string(at.to_seconds()));
+  };
+  engine.put_token(media, TimePoint::zero());
+  engine.put_token(user, TimePoint::from_seconds(2.0));  // user acts at t=2
+  EXPECT_EQ(engine.run(), 1u);  // skip consumed the media token; end starved
+  EXPECT_EQ(fired, (std::vector<std::string>{"skip@2.000000"}));
+  EXPECT_EQ(engine.tokens(out), 1u);
+}
+
+TEST(TimedEngine, WithoutPriorityArcSkipWaitsForMaturity) {
+  Net net;
+  const auto media = net.add_place("media", Duration::seconds(10));
+  const auto user = net.add_place("user", Duration::zero());
+  const auto out = net.add_place("out", Duration::zero());
+  const auto t_end = net.add_transition("end");
+  const auto t_skip = net.add_transition("skip");  // no priority anywhere
+  net.add_input(t_end, media);
+  net.add_output(t_end, out);
+  net.add_input(t_skip, user);
+  net.add_input(t_skip, media);
+  net.add_output(t_skip, out);
+
+  TimedEngine engine(net);
+  std::vector<std::string> fired;
+  engine.on_fire = [&](petri::TransitionId t, TimePoint at) {
+    fired.push_back(net.transition(t).name + "@" +
+                    std::to_string(at.to_seconds()));
+  };
+  engine.put_token(media, TimePoint::zero());
+  engine.put_token(user, TimePoint::from_seconds(2.0));
+  engine.run();
+  // Both become enabled only at maturity (t=10); the earlier-id transition
+  // (end) wins the tie deterministically.
+  EXPECT_EQ(fired, (std::vector<std::string>{"end@10.000000"}));
+}
+
+/// Reference semantics: full rescan every step (the DESIGN.md §5.7 naive
+/// baseline, maturity-only arcs). The incremental engine must match it
+/// exactly on nets without priority arcs.
+struct NaiveRunner {
+  const Net& net;
+  std::vector<std::vector<TimePoint>> tokens;
+  TimePoint now;
+  std::size_t fires = 0;
+
+  explicit NaiveRunner(const Net& n) : net(n), tokens(n.place_count()) {}
+
+  void put(petri::PlaceId p, TimePoint at) {
+    tokens[p.value()].push_back(at + net.place(p).duration);
+  }
+  bool step() {
+    bool found = false;
+    TimePoint best_at;
+    petri::TransitionId best_t;
+    for (const auto t : net.transition_ids()) {
+      const auto& arcs = net.inputs(t);
+      if (arcs.empty()) continue;
+      TimePoint at = now;
+      bool ok = true;
+      for (const auto& arc : arcs) {
+        const auto& v = tokens[arc.place.value()];
+        if (v.size() < arc.weight) {
+          ok = false;
+          break;
+        }
+        at = dmps::util::max_time(at, v[arc.weight - 1]);
+      }
+      if (ok && (!found || at < best_at)) {
+        found = true;
+        best_at = at;
+        best_t = t;
+      }
+    }
+    if (!found) return false;
+    now = best_at;
+    ++fires;
+    for (const auto& arc : net.inputs(best_t)) {
+      auto& v = tokens[arc.place.value()];
+      v.erase(v.begin(), v.begin() + arc.weight);
+    }
+    for (const auto& arc : net.outputs(best_t)) {
+      for (std::uint32_t i = 0; i < arc.weight; ++i) put(arc.place, now);
+    }
+    return true;
+  }
+};
+
+TEST(TimedEngine, MatchesNaiveRescanOnLayeredNet) {
+  // A small layered net: fork into three branches of different speeds, each
+  // a 2-stage chain, then rejoin.
+  Net net;
+  const auto start = net.add_place("start", Duration::zero());
+  const auto done = net.add_place("done", Duration::zero());
+  const auto fork = net.add_transition("fork");
+  const auto join = net.add_transition("join");
+  net.add_input(fork, start);
+  net.add_output(join, done);
+  const double durations[3] = {1.0, 2.5, 0.5};
+  for (int b = 0; b < 3; ++b) {
+    const auto p1 = net.add_place("b" + std::to_string(b) + ".1",
+                                  Duration::from_seconds(durations[b]));
+    const auto p2 = net.add_place("b" + std::to_string(b) + ".2",
+                                  Duration::from_seconds(durations[b] * 2));
+    const auto mid = net.add_transition("mid" + std::to_string(b));
+    net.add_output(fork, p1);
+    net.add_input(mid, p1);
+    net.add_output(mid, p2);
+    net.add_input(join, p2);
+  }
+
+  TimedEngine fast(net);
+  fast.put_token(start, TimePoint::zero());
+  const std::size_t fast_fires = fast.run();
+
+  NaiveRunner slow(net);
+  slow.put(start, TimePoint::zero());
+  while (slow.step()) {
+  }
+
+  EXPECT_EQ(fast_fires, slow.fires);
+  EXPECT_EQ(fast.now(), slow.now);
+  EXPECT_EQ(fast.tokens(done), 1u);
+  EXPECT_EQ(slow.tokens[done.value()].size(), 1u);
+}
+
+TEST(Net, RemoveInputDetachesConsumer) {
+  Net net;
+  const auto p = net.add_place("p", Duration::zero());
+  const auto t = net.add_transition("t");
+  net.add_input(t, p);
+  ASSERT_EQ(net.consumers(p).size(), 1u);
+  EXPECT_TRUE(net.remove_input(t, p));
+  EXPECT_TRUE(net.consumers(p).empty());
+  EXPECT_TRUE(net.inputs(t).empty());
+  EXPECT_FALSE(net.remove_input(t, p));
+}
+
+}  // namespace

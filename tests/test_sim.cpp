@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using dmps::sim::Simulator;
+using dmps::util::Duration;
+using dmps::util::TimePoint;
+
+TEST(Simulator, FiresInTimeOrderWithStableTies) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::from_seconds(2.0), [&] { order.push_back(2); });
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint::from_seconds(2.0), [&] { order.push_back(3); });
+  sim.run_until(TimePoint::from_seconds(5.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::from_seconds(5.0));
+}
+
+TEST(Simulator, RunUntilIsAWindowNotADrain) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] { ++fired; });
+  sim.schedule_at(TimePoint::from_seconds(3.0), [&] { ++fired; });
+  sim.run_until(TimePoint::from_seconds(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(TimePoint::from_seconds(4.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsScheduledWhileRunningExecuteInWindow) {
+  Simulator sim;
+  std::vector<double> at;
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] {
+    at.push_back(sim.now().to_seconds());
+    sim.schedule_in(Duration::seconds(1), [&] { at.push_back(sim.now().to_seconds()); });
+    sim.schedule_in(Duration::seconds(9), [&] { at.push_back(sim.now().to_seconds()); });
+  });
+  sim.run_until(TimePoint::from_seconds(5.0));
+  EXPECT_EQ(at, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Simulator, CancelAndPastClamping) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_at(TimePoint::from_seconds(1.0), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already gone
+
+  sim.run_until(TimePoint::from_seconds(2.0));
+  EXPECT_EQ(fired, 0);
+
+  // Scheduling in the past clamps to now and still runs.
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] { ++fired; });
+  sim.schedule_in(Duration::seconds(-5), [&] { ++fired; });
+  sim.run_until(sim.now());
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), TimePoint::from_seconds(2.0));
+}
+
+}  // namespace
