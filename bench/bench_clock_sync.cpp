@@ -61,7 +61,7 @@ void skew_scenario() {
         sum += err;
         worst = std::max(worst, err);
       }
-      std::printf("%9.0f | %13.2f | %11.3f | %10.3f\n", drift, period_s,
+      dmps::bench::row("%9.0f | %13.2f | %11.3f | %10.3f", drift, period_s,
                   sum / samples, worst);
     }
   }
@@ -106,7 +106,7 @@ void admission_scenario() {
     admission.admit(deadline, [&] { fired_at = w.sim.now(); });
     w.sim.run_until(TimePoint::from_seconds(20.0));
 
-    std::printf("%-11s | %8.0f | %14.2f | %17.2f | %25.2f\n", c.name, c.phase_ms,
+    dmps::bench::row("%-11s | %8.0f | %14.2f | %17.2f | %25.2f", c.name, c.phase_ms,
                 naive_error_ms, (fired_at - deadline).to_millis(),
                 (fired_at - local_plan).to_millis());
   }
@@ -146,5 +146,5 @@ BENCHMARK(BM_AdmissionAdmit);
 int main(int argc, char** argv) {
   skew_scenario();
   admission_scenario();
-  return dmps::bench::run_micro(argc, argv);
+  return dmps::bench::run_micro(argc, argv, "bench_clock_sync");
 }

@@ -5,25 +5,193 @@
 // paper figure / algorithm would show — and then (b) google-benchmark micro
 // rows for the hot paths involved. Scenario rows are pipe-separated so
 // EXPERIMENTS.md can quote them directly.
+//
+// Everything printed through table_header()/row() is also recorded, and
+// run_micro() writes BENCH_<name>.json into the working directory: the
+// scenario tables as string-cell arrays plus one record per micro result.
+// CI archives these files, so perf numbers accrue per PR instead of
+// vanishing into the log.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+
 #include <string>
+#include <vector>
 
 namespace dmps::bench {
 
-/// Print the header line of a scenario table.
-inline void table_header(const std::string& title, const std::string& columns) {
-  std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+struct ScenarioTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+namespace detail {
+
+inline std::vector<ScenarioTable>& tables() {
+  static std::vector<ScenarioTable> t;
+  return t;
 }
 
-/// Run any registered google-benchmark micro benches after the scenario part.
-inline int run_micro(int argc, char** argv) {
+/// Split a pipe-separated line into trimmed cells.
+inline std::vector<std::string> split_cells(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string::size_type start = 0;
+  while (true) {
+    const auto bar = line.find('|', start);
+    std::string cell = line.substr(start, bar == std::string::npos
+                                              ? std::string::npos
+                                              : bar - start);
+    const auto first = cell.find_first_not_of(" \t");
+    const auto last = cell.find_last_not_of(" \t");
+    cells.push_back(first == std::string::npos
+                        ? std::string()
+                        : cell.substr(first, last - first + 1));
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return cells;
+}
+
+inline void json_escape(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+inline void write_string_array(std::ostream& out,
+                               const std::vector<std::string>& cells) {
+  out << '[';
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out << ',';
+    out << '"';
+    json_escape(out, cells[i]);
+    out << '"';
+  }
+  out << ']';
+}
+
+}  // namespace detail
+
+/// Print the header line of a scenario table (and open it in the recorder).
+inline void table_header(const std::string& title, const std::string& columns) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+  detail::tables().push_back(
+      ScenarioTable{title, detail::split_cells(columns), {}});
+}
+
+/// Print one scenario row (printf-style) and record it in the open table.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline void row(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  std::printf("%s\n", buf);
+  if (!detail::tables().empty()) {
+    detail::tables().back().rows.push_back(detail::split_cells(buf));
+  }
+}
+
+/// One micro-benchmark result, captured off the console reporter.
+struct MicroResult {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_time = 0.0;
+  double cpu_time = 0.0;
+  std::string time_unit;
+};
+
+namespace detail {
+
+/// Console output as usual, plus a record of every run for the JSON file.
+class RecordingReporter : public ::benchmark::ConsoleReporter {
+ public:
+  std::vector<MicroResult> results;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      results.push_back(MicroResult{run.benchmark_name(), run.iterations,
+                                    run.GetAdjustedRealTime(),
+                                    run.GetAdjustedCPUTime(),
+                                    ::benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+}  // namespace detail
+
+/// Write BENCH_<name>.json: recorded scenario tables + micro results.
+inline void write_json(const std::string& name,
+                       const std::vector<MicroResult>& micro) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"";
+  detail::json_escape(out, name);
+  out << "\",\n  \"tables\": [";
+  const auto& tables = detail::tables();
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    if (t != 0) out << ',';
+    out << "\n    {\n      \"title\": \"";
+    detail::json_escape(out, tables[t].title);
+    out << "\",\n      \"columns\": ";
+    detail::write_string_array(out, tables[t].columns);
+    out << ",\n      \"rows\": [";
+    for (std::size_t r = 0; r < tables[t].rows.size(); ++r) {
+      if (r != 0) out << ',';
+      out << "\n        ";
+      detail::write_string_array(out, tables[t].rows[r]);
+    }
+    out << "\n      ]\n    }";
+  }
+  out << "\n  ],\n  \"micro\": [";
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "\n    {\"name\": \"";
+    detail::json_escape(out, micro[i].name);
+    out << "\", \"iterations\": " << micro[i].iterations
+        << ", \"real_time\": " << micro[i].real_time
+        << ", \"cpu_time\": " << micro[i].cpu_time << ", \"time_unit\": \""
+        << micro[i].time_unit << "\"}";
+  }
+  out << "\n  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+/// Run any registered google-benchmark micro benches after the scenario
+/// part, then emit BENCH_<name>.json with everything this binary measured.
+inline int run_micro(int argc, char** argv, const std::string& name) {
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
+  detail::RecordingReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
   ::benchmark::Shutdown();
+  write_json(name, reporter.results);
   return 0;
 }
 

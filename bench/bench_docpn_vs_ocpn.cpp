@@ -99,7 +99,7 @@ void scenario() {
     } else {
       std::snprintf(speedup, sizeof(speedup), "%.1fx", ocpn.reaction_s / docpn_react);
     }
-    std::printf("%7.0f | %13.3f | %12.3f | %16.2f | %15.2f | %12s\n", dur_s,
+    dmps::bench::row("%7.0f | %13.3f | %12.3f | %16.2f | %15.2f | %12s", dur_s,
                 docpn_react, ocpn.reaction_s, docpn.makespan_s, ocpn.makespan_s,
                 speedup);
   }
@@ -118,5 +118,5 @@ BENCHMARK(BM_SkipScenario)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   scenario();
-  return dmps::bench::run_micro(argc, argv);
+  return dmps::bench::run_micro(argc, argv, "bench_docpn_vs_ocpn");
 }

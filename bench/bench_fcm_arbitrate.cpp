@@ -98,7 +98,7 @@ void regime_scenario() {
     const double avail_before =
         cluster.arbiter.host_manager(cluster.host)->availability();
     const auto d = cluster.arbiter.arbitrate(cluster.request(cluster.members[0], 0.3));
-    std::printf("%-12s | %19.2f | %-16s | %9zu | %s\n", c.name, avail_before,
+    dmps::bench::row("%-12s | %19.2f | %-16s | %9zu | %s", c.name, avail_before,
                 std::string(to_string(d.outcome)).c_str(), d.suspended.size(),
                 d.reason.c_str());
   }
@@ -121,7 +121,7 @@ void throughput_scenario() {
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t0)
                                .count();
-    std::printf("%7d | %8d | %7.1f | %11.0f\n", m, requests, wall_ms,
+    dmps::bench::row("%7d | %8d | %7.1f | %11.0f", m, requests, wall_ms,
                 requests / (wall_ms / 1000.0));
   }
 }
@@ -161,5 +161,5 @@ BENCHMARK(BM_ArbitrateDegradedPath)->Arg(16)->Arg(128)->Unit(benchmark::kMicrose
 int main(int argc, char** argv) {
   regime_scenario();
   throughput_scenario();
-  return dmps::bench::run_micro(argc, argv);
+  return dmps::bench::run_micro(argc, argv, "bench_fcm_arbitrate");
 }

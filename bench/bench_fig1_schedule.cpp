@@ -52,14 +52,14 @@ void fig1_presentation() {
   dmps::bench::table_header("FIG1 schedule (the paper's example presentation)",
                             "medium | start_s | end_s");
   for (const auto& item : schedule.items) {
-    std::printf("%-14s | %7.1f | %6.1f\n", lib.get(item.medium).name.c_str(),
+    dmps::bench::row("%-14s | %7.1f | %6.1f", lib.get(item.medium).name.c_str(),
                 item.start.to_seconds(), item.end.to_seconds());
   }
   dmps::bench::table_header("FIG1 synchronous sets", "start_s | media");
   for (const auto& s : sets) {
     std::string names;
     for (auto m : s.media) names += lib.get(m).name + " ";
-    std::printf("%7.1f | %s\n", s.start.to_seconds(), names.c_str());
+    dmps::bench::row("%7.1f | %s", s.start.to_seconds(), names.c_str());
   }
 }
 
@@ -103,7 +103,7 @@ void size_sweep() {
     const auto sets = ocpn::sync_sets(schedule);
     const double sets_ms = ms_since(t0);
 
-    std::printf("%8d | %6zu | %11zu | %5zu | %10.2f | %11.2f | %11.3f | %zu\n",
+    dmps::bench::row("%8d | %6zu | %11zu | %5zu | %10.2f | %11.2f | %11.3f | %zu",
                 sections, compiled.net.place_count(), compiled.net.transition_count(),
                 schedule.items.size(), compile_ms, schedule_ms, sets_ms, sets.size());
   }
@@ -112,7 +112,7 @@ void size_sweep() {
 /// Ablation: the naive timed engine (re-evaluate every transition per step —
 /// how the first version of this library worked) vs the shipped incremental
 /// engine. Kept here, not in the library, purely to quantify the design
-/// decision recorded in DESIGN.md §5.7.
+/// decision recorded in DESIGN.md §6.7.
 struct NaiveEngine {
   const petri::Net& net;
   std::vector<std::vector<util::TimePoint>> tokens;
@@ -178,7 +178,7 @@ void engine_ablation() {
     }
     const double slow_ms = ms_since(t0);
 
-    std::printf("%8d | %6zu | %14.2f | %8.2f | %6.1fx\n", sections,
+    dmps::bench::row("%8d | %6zu | %14.2f | %8.2f | %6.1fx", sections,
                 compiled.net.place_count(), fast_ms, slow_ms,
                 fast_ms > 0 ? slow_ms / fast_ms : 0.0);
   }
@@ -225,5 +225,5 @@ int main(int argc, char** argv) {
   fig1_presentation();
   size_sweep();
   engine_ablation();
-  return dmps::bench::run_micro(argc, argv);
+  return dmps::bench::run_micro(argc, argv, "bench_fig1_schedule");
 }

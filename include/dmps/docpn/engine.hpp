@@ -40,10 +40,21 @@ class DocpnEngine {
   void start(util::TimePoint at);
 
   /// User skips `medium`. Returns false if the medium is not skippable or
-  /// not currently playing. With priority arcs the skip fires before this
-  /// returns; without them it takes effect at the medium's natural end.
+  /// not currently playing (or playout is paused). With priority arcs the
+  /// skip fires before this returns; without them it takes effect at the
+  /// medium's natural end.
   bool skip(media::MediaId medium);
 
+  /// Halt playout (Media-Suspend): no further transitions fire. Returns
+  /// false if not started, already paused, or finished.
+  bool pause();
+
+  /// Continue a paused playout (Media-Resume): the remaining schedule
+  /// shifts forward by the suspension span, so playback picks up exactly
+  /// where it stopped. Returns false if not paused.
+  bool resume();
+
+  bool paused() const { return paused_; }
   bool finished() const { return finished_; }
   std::uint64_t transitions_fired() const { return engine_.fired(); }
 
@@ -61,6 +72,8 @@ class DocpnEngine {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   bool started_ = false;
   bool finished_ = false;
+  bool paused_ = false;
+  util::TimePoint paused_at_;  // global instant pause() was called
 };
 
 }  // namespace dmps::docpn

@@ -85,12 +85,35 @@ enum class Outcome { kGranted, kGrantedDegraded, kAborted, kDenied };
 
 std::string_view to_string(Outcome outcome);
 
+/// Identifies one floor holding: which member, in which group. The protocol
+/// server routes Media-Suspend/Resume notifications by exactly this pair.
+struct Holder {
+  MemberId member;
+  GroupId group;
+  friend bool operator==(const Holder& a, const Holder& b) {
+    return a.member == b.member && a.group == b.group;
+  }
+  friend bool operator!=(const Holder& a, const Holder& b) { return !(a == b); }
+};
+
+/// The canonical map key for a floor holding; every component indexing
+/// state by (member, group) — arbiter grants, server-side request routing —
+/// must use this one packing.
+inline std::uint64_t holder_key(MemberId member, GroupId group) {
+  return (static_cast<std::uint64_t>(member.value()) << 32) | group.value();
+}
+
 struct Decision {
   Outcome outcome = Outcome::kDenied;
-  std::vector<MemberId> suspended;  // holders Media-Suspended for this grant
+  std::vector<Holder> suspended;  // holders Media-Suspended for this grant
   std::string reason;
   double availability_before = 0.0;
   double availability_after = 0.0;
+};
+
+struct ReleaseResult {
+  bool released = false;          // false: the member held nothing in the group
+  std::vector<Holder> resumed;    // holders Media-Resumed by the freed capacity
 };
 
 class FloorArbiter {
@@ -106,12 +129,15 @@ class FloorArbiter {
   Decision arbitrate(const FloorRequest& request);
 
   /// Release every active floor `member` holds in `group`, then Media-Resume
-  /// suspended holders that now fit. Returns false if nothing was held.
-  bool release(MemberId member, GroupId group);
+  /// suspended holders that now fit (reported in `resumed`).
+  ReleaseResult release(MemberId member, GroupId group);
 
   const resource::Thresholds& thresholds() const { return thresholds_; }
   std::size_t active_grants() const { return active_count_; }
   std::size_t suspended_grants() const { return suspended_count_; }
+  /// Allocated grant slots (recycled via a free list; stays bounded by the
+  /// peak number of simultaneously live grants, not total request volume).
+  std::size_t grant_slots() const { return grants_.size(); }
 
  private:
   struct Grant {
@@ -131,16 +157,15 @@ class FloorArbiter {
     std::vector<std::size_t> suspended;  // grant indices, unordered
   };
 
-  static std::uint64_t holder_key(MemberId member, GroupId group) {
-    return (static_cast<std::uint64_t>(member.value()) << 32) | group.value();
-  }
-  void resume_suspended(HostState& host);
+  std::size_t alloc_grant(Grant grant);
+  void resume_suspended(HostState& host, std::vector<Holder>& resumed);
 
   GroupRegistry& registry_;
   clk::Clock& clock_;
   resource::Thresholds thresholds_;
   std::unordered_map<HostId::value_type, HostState> hosts_;
   std::vector<Grant> grants_;
+  std::vector<std::size_t> free_slots_;  // released grant indices, reusable
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> holder_index_;
   std::uint64_t next_seq_ = 0;
   std::size_t active_count_ = 0;

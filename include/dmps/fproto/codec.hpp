@@ -1,0 +1,150 @@
+#pragma once
+// fproto wire codec: floor-control signalling packed into Message::ints.
+//
+// Thirteen message kinds put the paper's FCM on the wire. The client-driven
+// half is request/reply with client retransmission (Join/Leave/Request/
+// Release and their acks — the *reply* is the ack for Request: Grant or
+// Deny). The server-driven half is Media-Suspend/Media-Resume notifications,
+// retransmitted by the server until the holder's station acks. Every kind
+// has its own interned net::MsgType ("fp.request", "fp.grant", ...), so a
+// Demux dispatches straight to the right handler; the payload is a fixed
+// layout of int64s per kind (doubles travel bit-cast).
+//
+// decode_*() returns nullopt on a malformed payload (wrong type or short
+// ints) — a lossy, reordering network must never crash an endpoint.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "floor/arbiter.hpp"
+#include "media/media.hpp"
+#include "net/sim_network.hpp"
+
+namespace dmps::fproto {
+
+enum class MsgKind {
+  kJoin,        // c->s: member asks to enter a group
+  kJoinAck,     // s->c
+  kLeave,       // c->s: member exits a group (releases any held floor)
+  kLeaveAck,    // s->c
+  kRequest,     // c->s: FloorRequest
+  kGrant,       // s->c: FloorGrant (full or degraded)
+  kDeny,        // s->c: FloorDeny (denied or abort-arbitrate)
+  kRelease,     // c->s: FloorRelease
+  kReleaseAck,  // s->c
+  kSuspend,     // s->c: MediaSuspend notification (server-reliable)
+  kSuspendAck,  // c->s
+  kResume,      // s->c: MediaResume notification (server-reliable)
+  kResumeAck,   // c->s
+};
+
+std::string_view to_string(MsgKind kind);
+
+/// The interned wire type for a kind (stable for the whole process).
+net::MsgType wire_type(MsgKind kind);
+
+// ---------------------------------------------------------------- payloads
+
+struct JoinMsg {
+  floorctl::MemberId member;
+  floorctl::GroupId group;
+};
+
+struct JoinAckMsg {
+  floorctl::MemberId member;
+  floorctl::GroupId group;
+  bool accepted = false;
+};
+
+struct LeaveMsg {
+  floorctl::MemberId member;
+  floorctl::GroupId group;
+};
+
+struct LeaveAckMsg {
+  floorctl::MemberId member;
+  floorctl::GroupId group;
+  bool accepted = false;
+};
+
+struct RequestMsg {
+  std::uint64_t request_id = 0;  // globally unique: member id << 32 | seq
+  floorctl::MemberId member;
+  floorctl::GroupId group;
+  floorctl::HostId host;
+  floorctl::FcmMode mode = floorctl::FcmMode::kFreeAccess;
+  media::QosRequirement qos;
+};
+
+struct GrantMsg {
+  std::uint64_t request_id = 0;
+  bool degraded = false;         // kGrantedDegraded vs kGranted
+  double availability = 0.0;     // host availability after the grant
+};
+
+struct DenyMsg {
+  std::uint64_t request_id = 0;
+  floorctl::Outcome outcome = floorctl::Outcome::kDenied;  // kDenied | kAborted
+};
+
+struct ReleaseMsg {
+  std::uint64_t request_id = 0;
+  floorctl::MemberId member;
+  floorctl::GroupId group;
+};
+
+struct ReleaseAckMsg {
+  std::uint64_t request_id = 0;
+};
+
+struct SuspendMsg {
+  std::uint64_t notify_id = 0;   // server-side notification cookie
+  std::uint64_t request_id = 0;  // the grant being Media-Suspended
+};
+
+struct SuspendAckMsg {
+  std::uint64_t notify_id = 0;
+};
+
+struct ResumeMsg {
+  std::uint64_t notify_id = 0;
+  std::uint64_t request_id = 0;  // the grant being Media-Resumed
+};
+
+struct ResumeAckMsg {
+  std::uint64_t notify_id = 0;
+};
+
+// ------------------------------------------------------------ encode/decode
+
+std::vector<std::int64_t> encode(const JoinMsg& m);
+std::vector<std::int64_t> encode(const JoinAckMsg& m);
+std::vector<std::int64_t> encode(const LeaveMsg& m);
+std::vector<std::int64_t> encode(const LeaveAckMsg& m);
+std::vector<std::int64_t> encode(const RequestMsg& m);
+std::vector<std::int64_t> encode(const GrantMsg& m);
+std::vector<std::int64_t> encode(const DenyMsg& m);
+std::vector<std::int64_t> encode(const ReleaseMsg& m);
+std::vector<std::int64_t> encode(const ReleaseAckMsg& m);
+std::vector<std::int64_t> encode(const SuspendMsg& m);
+std::vector<std::int64_t> encode(const SuspendAckMsg& m);
+std::vector<std::int64_t> encode(const ResumeMsg& m);
+std::vector<std::int64_t> encode(const ResumeAckMsg& m);
+
+std::optional<JoinMsg> decode_join(const net::Message& msg);
+std::optional<JoinAckMsg> decode_join_ack(const net::Message& msg);
+std::optional<LeaveMsg> decode_leave(const net::Message& msg);
+std::optional<LeaveAckMsg> decode_leave_ack(const net::Message& msg);
+std::optional<RequestMsg> decode_request(const net::Message& msg);
+std::optional<GrantMsg> decode_grant(const net::Message& msg);
+std::optional<DenyMsg> decode_deny(const net::Message& msg);
+std::optional<ReleaseMsg> decode_release(const net::Message& msg);
+std::optional<ReleaseAckMsg> decode_release_ack(const net::Message& msg);
+std::optional<SuspendMsg> decode_suspend(const net::Message& msg);
+std::optional<SuspendAckMsg> decode_suspend_ack(const net::Message& msg);
+std::optional<ResumeMsg> decode_resume(const net::Message& msg);
+std::optional<ResumeAckMsg> decode_resume_ack(const net::Message& msg);
+
+}  // namespace dmps::fproto

@@ -1,0 +1,108 @@
+#pragma once
+// Moderating floor server: the fproto endpoint that owns arbitration.
+//
+// Registers the client->server message types on its station's Demux, runs
+// every FloorRequest through the FloorArbiter, and answers with Grant /
+// Deny. The server is the retransmission-tolerant half of the protocol:
+// request and release handling is *idempotent* — a request id that was
+// already decided gets its stored reply resent without re-arbitration, a
+// release of an already-released grant is re-acked — so client retries under
+// loss can never double-allocate or double-free floor resources.
+//
+// Media-Suspend/Resume are the server-driven, asynchronous half: when an
+// arbitration suspends lower-priority holders (or a release re-admits
+// them), the server pushes Suspend/Resume notifications to those holders'
+// home stations and retransmits each until the station acks it.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "floor/arbiter.hpp"
+#include "fproto/codec.hpp"
+#include "net/sim_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dmps::fproto {
+
+struct ServerConfig {
+  util::Duration notify_retry = util::Duration::millis(250);
+  int notify_max_tries = 200;  // then the notification is abandoned
+};
+
+class FloorServer {
+ public:
+  FloorServer(net::Demux& demux, floorctl::GroupRegistry& registry,
+              floorctl::FloorArbiter& arbiter, ServerConfig config);
+  ~FloorServer();
+  FloorServer(const FloorServer&) = delete;
+  FloorServer& operator=(const FloorServer&) = delete;
+
+  /// Pre-bind a member's home station (otherwise learned from its first
+  /// Join/Request — notifications need a destination).
+  void bind_station(floorctl::MemberId member, net::NodeId node);
+
+  /// Every fproto datagram this server put on the wire (replies, acks,
+  /// notifications and their retransmissions).
+  std::uint64_t messages_sent() const { return sends_; }
+  std::uint64_t requests_arbitrated() const { return arbitrated_; }
+  std::uint64_t duplicate_requests() const { return duplicate_requests_; }
+  std::uint64_t duplicate_releases() const { return duplicate_releases_; }
+  std::uint64_t grants_sent() const { return grants_sent_; }
+  std::uint64_t denies_sent() const { return denies_sent_; }
+  std::uint64_t suspends_sent() const { return suspends_sent_; }
+  std::uint64_t resumes_sent() const { return resumes_sent_; }
+  std::uint64_t notify_retransmits() const { return notify_retransmits_; }
+  std::uint64_t notifies_abandoned() const { return notifies_abandoned_; }
+  std::size_t notifies_pending() const { return pending_notifies_.size(); }
+
+ private:
+  struct DecisionRecord {
+    MsgKind reply_kind = MsgKind::kDeny;
+    std::vector<std::int64_t> reply_ints;
+    bool released = false;  // the grant has since been given back
+  };
+  void handle_join(const net::Message& msg);
+  void handle_leave(const net::Message& msg);
+  void handle_request(const net::Message& msg);
+  void handle_release(const net::Message& msg);
+  void handle_suspend_ack(const net::Message& msg);
+  void handle_resume_ack(const net::Message& msg);
+
+  void release_holder(floorctl::MemberId member, floorctl::GroupId group);
+  void notify(floorctl::MemberId member, MsgKind kind, std::uint64_t request_id);
+  void notify_tick(std::uint64_t notify_id);
+
+  net::Demux& demux_;
+  floorctl::GroupRegistry& registry_;
+  floorctl::FloorArbiter& arbiter_;
+  ServerConfig config_;
+
+  std::unordered_map<std::uint64_t, DecisionRecord> decided_;  // by request id
+  std::unordered_map<floorctl::MemberId::value_type, net::NodeId> stations_;
+  // holder (member,group) -> its live granted request id
+  std::unordered_map<std::uint64_t, std::uint64_t> holder_request_;
+
+  struct Notify {
+    net::NodeId node;
+    MsgKind kind = MsgKind::kSuspend;
+    std::vector<std::int64_t> ints;
+    int tries = 1;
+    sim::EventId retry_event = 0;
+  };
+  std::unordered_map<std::uint64_t, Notify> pending_notifies_;  // by notify id
+  std::uint64_t next_notify_id_ = 1;
+
+  std::uint64_t sends_ = 0;
+  std::uint64_t arbitrated_ = 0;
+  std::uint64_t duplicate_requests_ = 0;
+  std::uint64_t duplicate_releases_ = 0;
+  std::uint64_t grants_sent_ = 0;
+  std::uint64_t denies_sent_ = 0;
+  std::uint64_t suspends_sent_ = 0;
+  std::uint64_t resumes_sent_ = 0;
+  std::uint64_t notify_retransmits_ = 0;
+  std::uint64_t notifies_abandoned_ = 0;
+};
+
+}  // namespace dmps::fproto

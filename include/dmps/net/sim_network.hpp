@@ -4,12 +4,19 @@
 // One SimNetwork carries every message in a scenario. Each link applies a
 // LinkQuality model — fixed latency, uniform jitter, independent loss — so
 // the clock-sync layer above sees realistic asymmetric delays. A Demux is a
-// node's receive side: components (clock server, clock client, future floor
+// node's receive side: components (clock server, clock client, floor
 // protocol endpoints) register per-message-type handlers on it.
+//
+// Message types are *interned*: a protocol interns its type names once
+// (msg_type("clk.req") -> dense MsgType id) and every send/dispatch after
+// that moves small ints only. Dispatch is a vector index per delivery — no
+// per-delivery string hashing — which matters once the floor protocol
+// multiplies delivery volume.
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +28,17 @@
 namespace dmps::net {
 
 using NodeId = util::StrongId<struct NodeTag>;
+
+/// Interned message-type id, dense from 0. Compare/copy like an int.
+using MsgType = util::StrongId<struct MsgTypeTag, std::uint16_t>;
+
+/// Intern `name` into the process-wide type table (idempotent: the same
+/// name always returns the same id). Call once at component setup, not per
+/// send.
+MsgType msg_type(std::string_view name);
+
+/// Reverse lookup, for logs and tests. Throws on an id never interned.
+const std::string& msg_type_name(MsgType type);
 
 /// Per-link delay/loss model: delivery delay = latency + U(0, jitter),
 /// independently per message and per direction; each message is dropped
@@ -36,7 +54,7 @@ struct LinkQuality {
 struct Message {
   NodeId from;
   NodeId to;
-  std::string type;
+  MsgType type;
   std::vector<std::int64_t> ints;
 };
 
@@ -84,7 +102,8 @@ class SimNetwork {
   std::uint64_t delivered_ = 0;
 };
 
-/// A node's receive-side dispatcher. Handlers are keyed by Message::type.
+/// A node's receive-side dispatcher. Handlers are a flat vector indexed by
+/// the interned Message::type — one bounds check per delivery.
 class Demux {
  public:
   Demux(SimNetwork& network, NodeId node);
@@ -99,15 +118,15 @@ class Demux {
   /// Register the handler for a message type. Each type has one owner:
   /// returns false (and registers nothing) if the type is already taken,
   /// so two components can't silently clobber each other's protocol.
-  [[nodiscard]] bool on(std::string type, std::function<void(const Message&)> handler);
+  [[nodiscard]] bool on(MsgType type, std::function<void(const Message&)> handler);
 
   /// Drop the handler for a message type. Components that registered a
   /// handler capturing `this` must call this before they are destroyed —
   /// in-flight messages may still be delivered afterwards.
-  void off(const std::string& type);
+  void off(MsgType type);
 
   /// Convenience: send from this node.
-  void send(NodeId to, std::string type, std::vector<std::int64_t> ints);
+  void send(NodeId to, MsgType type, std::vector<std::int64_t> ints);
 
  private:
   friend class SimNetwork;
@@ -115,7 +134,7 @@ class Demux {
 
   SimNetwork& network_;
   NodeId node_;
-  std::unordered_map<std::string, std::function<void(const Message&)>> handlers_;
+  std::vector<std::function<void(const Message&)>> handlers_;  // by type id
 };
 
 }  // namespace dmps::net

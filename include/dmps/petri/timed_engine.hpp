@@ -13,7 +13,7 @@
 // recomputed and re-pushed (stamped; stale heap entries are skipped on
 // pop). The naive alternative — rescan every transition per step — is kept
 // in bench_fig1_schedule.cpp as an ablation; the decision is recorded in
-// DESIGN.md §5.7.
+// DESIGN.md §6.7.
 //
 // Besides run() (fire to quiescence, jumping time), the engine exposes
 // peek()/fire_next() so an external driver — the DOCPN engine firing under
@@ -42,6 +42,12 @@ class TimedEngine {
 
   /// Deposit a token into `p` at instant `at` (matures at + duration).
   void put_token(PlaceId p, util::TimePoint at);
+
+  /// Slide every pending token's deposit/maturity forward by `d` and
+  /// recompute all candidates. This is how a paused playout resumes at the
+  /// right schedule point: the remaining net is intact, only shifted by
+  /// the suspension span. `d` must be non-negative.
+  void shift_pending(util::Duration d);
 
   /// Earliest pending candidate, if any transition is enabled.
   std::optional<Candidate> peek();

@@ -1,0 +1,137 @@
+#pragma once
+// Multi-station presentation sessions: the first code path where clock
+// sync, the DOCPN engine and FCM-Arbitrate all run together, over the wire.
+//
+// A Presentation wires N client stations against one server station on a
+// shared SimNetwork. The server station runs the GlobalClockServer and the
+// fproto FloorServer (GroupRegistry + FloorArbiter). Each client station
+// gets its own drifting local clock, a GlobalClockClient + Admission-
+// Controller, a DocpnEngine playing a small intro/body/outro presentation,
+// and a FloorAgent. Links are asymmetric per station and direction
+// (different uplink/downlink latency, shared jitter/loss).
+//
+// The scripted behavior per station: join the group, request the floor at a
+// staggered instant, start DOCPN playout when granted, pause it on
+// Media-Suspend, resume it (shifted by the suspension span) on
+// Media-Resume, and release the floor when playout finishes. Denied
+// stations back off and retry a bounded number of times.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clock/global_clock.hpp"
+#include "docpn/docpn.hpp"
+#include "docpn/engine.hpp"
+#include "fproto/agent.hpp"
+#include "fproto/server.hpp"
+#include "net/sim_network.hpp"
+
+namespace dmps::session {
+
+struct SessionConfig {
+  std::uint64_t seed = 1;
+  int stations = 4;
+
+  // Server-side arbitration.
+  resource::Resource host_capacity{1.0, 1.0, 1.0};
+  resource::Thresholds thresholds{0.25, 0.05};
+
+  // Per-link model: uplink/downlink latency differ per station (asymmetry),
+  // jitter and loss apply to every link.
+  util::Duration up_latency = util::Duration::millis(4);
+  util::Duration down_latency = util::Duration::millis(9);
+  util::Duration per_station_skew = util::Duration::millis(1);  // * index
+  util::Duration jitter = util::Duration::millis(2);
+  double loss = 0.0;
+
+  // Client behavior.
+  clk::SyncConfig sync{util::Duration::millis(250), 8};
+  media::QosRequirement qos{0.22, 0.22, 0.22};  // per station feed
+  util::Duration media_len = util::Duration::seconds(5);  // body duration
+  util::Duration request_stagger = util::Duration::millis(700);
+  int max_request_attempts = 3;  // denied stations back off and retry
+  util::Duration retry_backoff = util::Duration::millis(1500);
+  fproto::AgentConfig agent;
+  fproto::ServerConfig server;
+};
+
+/// Aggregate counters after run().
+struct SessionStats {
+  int stations = 0;
+  int requests_issued = 0;
+  int granted = 0;
+  int denied = 0;       // kDenied + kAborted replies
+  int released = 0;     // acked releases
+  int suspends = 0;     // Media-Suspends applied at stations
+  int resumes = 0;
+  int playbacks_finished = 0;
+  int stuck_agents = 0;  // agents with an op still in flight (or failed)
+  std::uint64_t client_retransmits = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t server_arbitrations = 0;
+  std::uint64_t server_duplicate_requests = 0;
+  std::uint64_t notify_retransmits = 0;
+  std::uint64_t notifies_pending = 0;
+  std::uint64_t messages_sent = 0;  // everything, clock sync included
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t floor_messages = 0;  // fproto datagrams only (agents + server)
+};
+
+/// Per-station snapshot for tests and tables.
+struct StationSnapshot {
+  fproto::AgentState state = fproto::AgentState::kIdle;
+  int requests = 0;
+  int grants = 0;
+  int denies = 0;
+  int suspends = 0;
+  int resumes = 0;
+  int releases = 0;
+  bool playback_started = false;
+  bool playback_finished = false;
+  double playback_started_s = -1;   // sim-time seconds
+  double playback_finished_s = -1;
+};
+
+class Presentation {
+ public:
+  explicit Presentation(SessionConfig config);
+  ~Presentation();
+  Presentation(const Presentation&) = delete;
+  Presentation& operator=(const Presentation&) = delete;
+
+  /// Run the scripted session for `horizon` of simulated time and report.
+  /// May be called repeatedly to extend the same session.
+  SessionStats run(util::Duration horizon);
+
+  SessionStats stats() const;
+  StationSnapshot station(int index) const;
+  sim::Simulator& sim() { return sim_; }
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  struct Station;
+  void script_join(Station& s);
+  void script_request(Station& s);
+
+  SessionConfig config_;
+  sim::Simulator sim_;
+  net::SimNetwork network_;
+
+  // Server station.
+  net::NodeId server_node_;
+  std::unique_ptr<net::Demux> server_demux_;
+  clk::TrueClock server_clock_;
+  std::unique_ptr<clk::GlobalClockServer> clock_server_;
+  floorctl::GroupRegistry registry_;
+  std::unique_ptr<floorctl::FloorArbiter> arbiter_;
+  floorctl::HostId host_{1};
+  floorctl::MemberId chair_;
+  floorctl::GroupId group_;
+  std::unique_ptr<fproto::FloorServer> floor_server_;
+
+  std::vector<std::unique_ptr<Station>> stations_;
+};
+
+}  // namespace dmps::session

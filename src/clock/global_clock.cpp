@@ -7,36 +7,43 @@
 namespace dmps::clk {
 
 namespace {
-constexpr const char* kReq = "clk.req";
-constexpr const char* kRsp = "clk.rsp";
+// Interned once per process; every send/dispatch after this is int-keyed.
+net::MsgType req_type() {
+  static const net::MsgType t = net::msg_type("clk.req");
+  return t;
+}
+net::MsgType rsp_type() {
+  static const net::MsgType t = net::msg_type("clk.rsp");
+  return t;
+}
 }  // namespace
 
 GlobalClockServer::GlobalClockServer(net::Demux& demux, Clock& authority)
     : demux_(demux), authority_(authority) {
-  const bool owned = demux_.on(kReq, [this](const net::Message& msg) {
+  const bool owned = demux_.on(req_type(), [this](const net::Message& msg) {
     if (msg.ints.size() < 2) return;  // malformed probe
     // Echo the client's cookie and send-stamp, append our reading.
     ++answered_;
-    demux_.send(msg.from, kRsp,
+    demux_.send(msg.from, rsp_type(),
                 {msg.ints[0], msg.ints[1], authority_.now().raw_nanos()});
   });
   if (!owned) throw std::logic_error("clk.req already handled on this node");
 }
 
-GlobalClockServer::~GlobalClockServer() { demux_.off(kReq); }
+GlobalClockServer::~GlobalClockServer() { demux_.off(req_type()); }
 
 GlobalClockClient::GlobalClockClient(net::Demux& demux, sim::Simulator& sim,
                                      Clock& local, net::NodeId server,
                                      SyncConfig config)
     : demux_(demux), sim_(sim), local_(local), server_(server), config_(config) {
   const bool owned =
-      demux_.on(kRsp, [this](const net::Message& msg) { handle_reply(msg); });
+      demux_.on(rsp_type(), [this](const net::Message& msg) { handle_reply(msg); });
   if (!owned) throw std::logic_error("clk.rsp already handled on this node");
 }
 
 GlobalClockClient::~GlobalClockClient() {
   stop();
-  demux_.off(kRsp);  // in-flight replies must not dispatch into a dead client
+  demux_.off(rsp_type());  // in-flight replies must not dispatch into a dead client
 }
 
 void GlobalClockClient::start() {
@@ -70,7 +77,7 @@ void GlobalClockClient::sync_once() {
   round_best_rtt_ = util::Duration::zero();
   const std::int64_t cookie = static_cast<std::int64_t>(round_);
   for (int i = 0; i < config_.samples; ++i) {
-    demux_.send(server_, kReq, {cookie, local_.now().raw_nanos()});
+    demux_.send(server_, req_type(), {cookie, local_.now().raw_nanos()});
   }
 }
 

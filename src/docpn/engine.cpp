@@ -43,6 +43,7 @@ void DocpnEngine::start(util::TimePoint at) {
 }
 
 bool DocpnEngine::skip(media::MediaId medium) {
+  if (paused_) return false;  // a suspended playout accepts no interaction
   const Docpn::SkipInfo* info = model_.skip_info(medium);
   if (info == nullptr) return false;
   const petri::PlaceId place = model_.compiled().media_place.at(medium);
@@ -52,7 +53,25 @@ bool DocpnEngine::skip(media::MediaId medium) {
   return true;
 }
 
+bool DocpnEngine::pause() {
+  if (!started_ || finished_ || paused_) return false;
+  paused_ = true;
+  paused_at_ = admission_.global_now();
+  return true;
+}
+
+bool DocpnEngine::resume() {
+  if (!paused_) return false;
+  paused_ = false;
+  engine_.shift_pending(admission_.global_now() - paused_at_);
+  // A wake-up admitted before the pause may still be pending; it re-enters
+  // drive() harmlessly and re-admits for the shifted candidate.
+  drive();
+  return true;
+}
+
 void DocpnEngine::drive() {
+  if (paused_) return;  // wake-ups landing mid-suspension are deferred
   while (const auto candidate = engine_.peek()) {
     const util::TimePoint global = admission_.global_now();
     if (candidate->when <= global) {

@@ -71,14 +71,14 @@ void FloorArbiter::add_host(HostId host, resource::Resource capacity) {
       } else {
         --active_count_;
       }
+      const auto idx = static_cast<std::size_t>(&grant - grants_.data());
       auto holder = holder_index_.find(holder_key(grant.member, grant.group));
       if (holder != holder_index_.end()) {
         auto& vec = holder->second;
-        vec.erase(std::remove(vec.begin(), vec.end(),
-                              static_cast<std::size_t>(&grant - grants_.data())),
-                  vec.end());
+        vec.erase(std::remove(vec.begin(), vec.end(), idx), vec.end());
         if (vec.empty()) holder_index_.erase(holder);
       }
+      free_slots_.push_back(idx);
     }
     hosts_.erase(it);
   }
@@ -179,14 +179,14 @@ Decision FloorArbiter::arbitrate(const FloorRequest& request) {
       host.suspended.push_back(idx);
       --active_count_;
       ++suspended_count_;
-      decision.suspended.push_back(grants_[idx].member);
+      decision.suspended.push_back(Holder{grants_[idx].member, grants_[idx].group});
     }
   }
 
   host.manager.reserve(need);
-  const std::size_t grant_idx = grants_.size();
-  grants_.push_back(Grant{request.member, request.group, request.host, need,
-                          priority, next_seq_++, clock_.now(), false, false});
+  const std::size_t grant_idx =
+      alloc_grant(Grant{request.member, request.group, request.host, need,
+                        priority, next_seq_++, clock_.now(), false, false});
   host.active.push_back(grant_idx);
   holder_index_[holder_key(request.member, request.group)].push_back(grant_idx);
   ++active_count_;
@@ -212,12 +212,25 @@ Decision FloorArbiter::arbitrate(const FloorRequest& request) {
   return decision;
 }
 
-bool FloorArbiter::release(MemberId member, GroupId group) {
+std::size_t FloorArbiter::alloc_grant(Grant grant) {
+  if (!free_slots_.empty()) {
+    const std::size_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    grants_[idx] = grant;
+    return idx;
+  }
+  grants_.push_back(grant);
+  return grants_.size() - 1;
+}
+
+ReleaseResult FloorArbiter::release(MemberId member, GroupId group) {
+  ReleaseResult result;
   const auto it = holder_index_.find(holder_key(member, group));
-  if (it == holder_index_.end() || it->second.empty()) return false;
+  if (it == holder_index_.end() || it->second.empty()) return result;
 
   std::vector<std::size_t> indices = std::move(it->second);
   holder_index_.erase(it);
+  result.released = true;
 
   for (const std::size_t idx : indices) {
     Grant& grant = grants_[idx];
@@ -233,13 +246,14 @@ bool FloorArbiter::release(MemberId member, GroupId group) {
       host.manager.release(grant.amount);
       host.active.erase(std::find(host.active.begin(), host.active.end(), idx));
       --active_count_;
-      resume_suspended(host);
+      resume_suspended(host, result.resumed);
     }
+    free_slots_.push_back(idx);
   }
-  return true;
+  return result;
 }
 
-void FloorArbiter::resume_suspended(HostState& host) {
+void FloorArbiter::resume_suspended(HostState& host, std::vector<Holder>& resumed) {
   if (host.suspended.empty()) return;
   // Media-Resume: highest priority first, then oldest, as capacity allows.
   std::sort(host.suspended.begin(), host.suspended.end(),
@@ -257,6 +271,7 @@ void FloorArbiter::resume_suspended(HostState& host) {
       host.active.push_back(idx);
       --suspended_count_;
       ++active_count_;
+      resumed.push_back(Holder{grant.member, grant.group});
     } else {
       still_suspended.push_back(idx);
     }

@@ -1,0 +1,244 @@
+#include "fproto/codec.hpp"
+
+#include <cstring>
+
+namespace dmps::fproto {
+
+namespace {
+
+// Doubles cross the wire bit-cast into an int64 lane (memcpy: C++17 has no
+// std::bit_cast). Exact round-trip, no fixed-point quantization.
+std::int64_t pack_double(double v) {
+  std::int64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double unpack_double(std::int64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::int64_t pack_u64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+std::uint64_t unpack_u64(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+
+template <class Id>
+std::int64_t pack_id(Id id) {
+  return static_cast<std::int64_t>(id.value());
+}
+
+template <class Id>
+Id unpack_id(std::int64_t v) {
+  return Id(static_cast<typename Id::value_type>(v));
+}
+
+/// Payload guard: right wire type, at least `lanes` int64s.
+bool well_formed(const net::Message& msg, MsgKind kind, std::size_t lanes) {
+  return msg.type == wire_type(kind) && msg.ints.size() >= lanes;
+}
+
+}  // namespace
+
+std::string_view to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kJoin: return "fp.join";
+    case MsgKind::kJoinAck: return "fp.join_ack";
+    case MsgKind::kLeave: return "fp.leave";
+    case MsgKind::kLeaveAck: return "fp.leave_ack";
+    case MsgKind::kRequest: return "fp.request";
+    case MsgKind::kGrant: return "fp.grant";
+    case MsgKind::kDeny: return "fp.deny";
+    case MsgKind::kRelease: return "fp.release";
+    case MsgKind::kReleaseAck: return "fp.release_ack";
+    case MsgKind::kSuspend: return "fp.suspend";
+    case MsgKind::kSuspendAck: return "fp.suspend_ack";
+    case MsgKind::kResume: return "fp.resume";
+    case MsgKind::kResumeAck: return "fp.resume_ack";
+  }
+  return "fp.unknown";
+}
+
+net::MsgType wire_type(MsgKind kind) {
+  // 13 kinds, interned once each on first use.
+  static const net::MsgType types[] = {
+      net::msg_type(to_string(MsgKind::kJoin)),
+      net::msg_type(to_string(MsgKind::kJoinAck)),
+      net::msg_type(to_string(MsgKind::kLeave)),
+      net::msg_type(to_string(MsgKind::kLeaveAck)),
+      net::msg_type(to_string(MsgKind::kRequest)),
+      net::msg_type(to_string(MsgKind::kGrant)),
+      net::msg_type(to_string(MsgKind::kDeny)),
+      net::msg_type(to_string(MsgKind::kRelease)),
+      net::msg_type(to_string(MsgKind::kReleaseAck)),
+      net::msg_type(to_string(MsgKind::kSuspend)),
+      net::msg_type(to_string(MsgKind::kSuspendAck)),
+      net::msg_type(to_string(MsgKind::kResume)),
+      net::msg_type(to_string(MsgKind::kResumeAck)),
+  };
+  return types[static_cast<int>(kind)];
+}
+
+std::vector<std::int64_t> encode(const JoinMsg& m) {
+  return {pack_id(m.member), pack_id(m.group)};
+}
+
+std::vector<std::int64_t> encode(const JoinAckMsg& m) {
+  return {pack_id(m.member), pack_id(m.group), m.accepted ? 1 : 0};
+}
+
+std::vector<std::int64_t> encode(const LeaveMsg& m) {
+  return {pack_id(m.member), pack_id(m.group)};
+}
+
+std::vector<std::int64_t> encode(const LeaveAckMsg& m) {
+  return {pack_id(m.member), pack_id(m.group), m.accepted ? 1 : 0};
+}
+
+std::vector<std::int64_t> encode(const RequestMsg& m) {
+  return {pack_u64(m.request_id),
+          pack_id(m.member),
+          pack_id(m.group),
+          pack_id(m.host),
+          m.mode == floorctl::FcmMode::kChaired ? 1 : 0,
+          pack_double(m.qos.bandwidth),
+          pack_double(m.qos.cpu),
+          pack_double(m.qos.memory)};
+}
+
+std::vector<std::int64_t> encode(const GrantMsg& m) {
+  return {pack_u64(m.request_id), m.degraded ? 1 : 0, pack_double(m.availability)};
+}
+
+std::vector<std::int64_t> encode(const DenyMsg& m) {
+  return {pack_u64(m.request_id),
+          m.outcome == floorctl::Outcome::kAborted ? 1 : 0};
+}
+
+std::vector<std::int64_t> encode(const ReleaseMsg& m) {
+  return {pack_u64(m.request_id), pack_id(m.member), pack_id(m.group)};
+}
+
+std::vector<std::int64_t> encode(const ReleaseAckMsg& m) {
+  return {pack_u64(m.request_id)};
+}
+
+std::vector<std::int64_t> encode(const SuspendMsg& m) {
+  return {pack_u64(m.notify_id), pack_u64(m.request_id)};
+}
+
+std::vector<std::int64_t> encode(const SuspendAckMsg& m) {
+  return {pack_u64(m.notify_id)};
+}
+
+std::vector<std::int64_t> encode(const ResumeMsg& m) {
+  return {pack_u64(m.notify_id), pack_u64(m.request_id)};
+}
+
+std::vector<std::int64_t> encode(const ResumeAckMsg& m) {
+  return {pack_u64(m.notify_id)};
+}
+
+std::optional<JoinMsg> decode_join(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kJoin, 2)) return std::nullopt;
+  JoinMsg m;
+  m.member = unpack_id<floorctl::MemberId>(msg.ints[0]);
+  m.group = unpack_id<floorctl::GroupId>(msg.ints[1]);
+  return m;
+}
+
+std::optional<JoinAckMsg> decode_join_ack(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kJoinAck, 3)) return std::nullopt;
+  JoinAckMsg m;
+  m.member = unpack_id<floorctl::MemberId>(msg.ints[0]);
+  m.group = unpack_id<floorctl::GroupId>(msg.ints[1]);
+  m.accepted = msg.ints[2] != 0;
+  return m;
+}
+
+std::optional<LeaveMsg> decode_leave(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kLeave, 2)) return std::nullopt;
+  LeaveMsg m;
+  m.member = unpack_id<floorctl::MemberId>(msg.ints[0]);
+  m.group = unpack_id<floorctl::GroupId>(msg.ints[1]);
+  return m;
+}
+
+std::optional<LeaveAckMsg> decode_leave_ack(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kLeaveAck, 3)) return std::nullopt;
+  LeaveAckMsg m;
+  m.member = unpack_id<floorctl::MemberId>(msg.ints[0]);
+  m.group = unpack_id<floorctl::GroupId>(msg.ints[1]);
+  m.accepted = msg.ints[2] != 0;
+  return m;
+}
+
+std::optional<RequestMsg> decode_request(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kRequest, 8)) return std::nullopt;
+  RequestMsg m;
+  m.request_id = unpack_u64(msg.ints[0]);
+  m.member = unpack_id<floorctl::MemberId>(msg.ints[1]);
+  m.group = unpack_id<floorctl::GroupId>(msg.ints[2]);
+  m.host = unpack_id<floorctl::HostId>(msg.ints[3]);
+  m.mode = msg.ints[4] != 0 ? floorctl::FcmMode::kChaired
+                            : floorctl::FcmMode::kFreeAccess;
+  m.qos.bandwidth = unpack_double(msg.ints[5]);
+  m.qos.cpu = unpack_double(msg.ints[6]);
+  m.qos.memory = unpack_double(msg.ints[7]);
+  return m;
+}
+
+std::optional<GrantMsg> decode_grant(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kGrant, 3)) return std::nullopt;
+  GrantMsg m;
+  m.request_id = unpack_u64(msg.ints[0]);
+  m.degraded = msg.ints[1] != 0;
+  m.availability = unpack_double(msg.ints[2]);
+  return m;
+}
+
+std::optional<DenyMsg> decode_deny(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kDeny, 2)) return std::nullopt;
+  DenyMsg m;
+  m.request_id = unpack_u64(msg.ints[0]);
+  m.outcome = msg.ints[1] != 0 ? floorctl::Outcome::kAborted
+                               : floorctl::Outcome::kDenied;
+  return m;
+}
+
+std::optional<ReleaseMsg> decode_release(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kRelease, 3)) return std::nullopt;
+  ReleaseMsg m;
+  m.request_id = unpack_u64(msg.ints[0]);
+  m.member = unpack_id<floorctl::MemberId>(msg.ints[1]);
+  m.group = unpack_id<floorctl::GroupId>(msg.ints[2]);
+  return m;
+}
+
+std::optional<ReleaseAckMsg> decode_release_ack(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kReleaseAck, 1)) return std::nullopt;
+  return ReleaseAckMsg{unpack_u64(msg.ints[0])};
+}
+
+std::optional<SuspendMsg> decode_suspend(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kSuspend, 2)) return std::nullopt;
+  return SuspendMsg{unpack_u64(msg.ints[0]), unpack_u64(msg.ints[1])};
+}
+
+std::optional<SuspendAckMsg> decode_suspend_ack(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kSuspendAck, 1)) return std::nullopt;
+  return SuspendAckMsg{unpack_u64(msg.ints[0])};
+}
+
+std::optional<ResumeMsg> decode_resume(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kResume, 2)) return std::nullopt;
+  return ResumeMsg{unpack_u64(msg.ints[0]), unpack_u64(msg.ints[1])};
+}
+
+std::optional<ResumeAckMsg> decode_resume_ack(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kResumeAck, 1)) return std::nullopt;
+  return ResumeAckMsg{unpack_u64(msg.ints[0])};
+}
+
+}  // namespace dmps::fproto

@@ -1,0 +1,237 @@
+#include "fproto/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dmps::fproto {
+
+FloorServer::FloorServer(net::Demux& demux, floorctl::GroupRegistry& registry,
+                         floorctl::FloorArbiter& arbiter, ServerConfig config)
+    : demux_(demux), registry_(registry), arbiter_(arbiter), config_(config) {
+  // Same rollback discipline as FloorAgent: on a conflict, deregister only
+  // what this constructor managed to register, then throw.
+  std::vector<MsgKind> registered;
+  const auto reg = [&](MsgKind kind, std::function<void(const net::Message&)> fn) {
+    if (!demux_.on(wire_type(kind), std::move(fn))) return false;
+    registered.push_back(kind);
+    return true;
+  };
+  bool owned = true;
+  owned &= reg(MsgKind::kJoin, [this](const net::Message& m) { handle_join(m); });
+  owned &= reg(MsgKind::kLeave, [this](const net::Message& m) { handle_leave(m); });
+  owned &= reg(MsgKind::kRequest,
+               [this](const net::Message& m) { handle_request(m); });
+  owned &= reg(MsgKind::kRelease,
+               [this](const net::Message& m) { handle_release(m); });
+  owned &= reg(MsgKind::kSuspendAck,
+               [this](const net::Message& m) { handle_suspend_ack(m); });
+  owned &= reg(MsgKind::kResumeAck,
+               [this](const net::Message& m) { handle_resume_ack(m); });
+  if (!owned) {
+    for (const MsgKind kind : registered) demux_.off(wire_type(kind));
+    throw std::logic_error("fproto server types already handled on this node");
+  }
+}
+
+FloorServer::~FloorServer() {
+  for (auto& [id, pending] : pending_notifies_) {
+    if (pending.retry_event != 0) demux_.sim().cancel(pending.retry_event);
+  }
+  for (const MsgKind kind :
+       {MsgKind::kJoin, MsgKind::kLeave, MsgKind::kRequest, MsgKind::kRelease,
+        MsgKind::kSuspendAck, MsgKind::kResumeAck}) {
+    demux_.off(wire_type(kind));
+  }
+}
+
+void FloorServer::bind_station(floorctl::MemberId member, net::NodeId node) {
+  stations_[member.value()] = node;
+}
+
+void FloorServer::handle_join(const net::Message& msg) {
+  const auto join = decode_join(msg);
+  if (!join || !registry_.has_member(join->member) ||
+      !registry_.has_group(join->group)) {
+    return;  // malformed or unknown ids: not even a NACK target
+  }
+  stations_[join->member.value()] = msg.from;  // learn the home station
+  // Idempotent: already-in counts as accepted, so a retransmitted Join
+  // after a lost ack converges instead of flapping.
+  const bool accepted = registry_.in_group(join->member, join->group) ||
+                        registry_.join(join->member, join->group);
+  ++sends_;
+  demux_.send(msg.from, wire_type(MsgKind::kJoinAck),
+              encode(JoinAckMsg{join->member, join->group, accepted}));
+}
+
+void FloorServer::handle_leave(const net::Message& msg) {
+  const auto leave = decode_leave(msg);
+  if (!leave || !registry_.has_member(leave->member) ||
+      !registry_.has_group(leave->group)) {
+    return;
+  }
+  bool accepted;
+  if (!registry_.in_group(leave->member, leave->group)) {
+    accepted = true;  // idempotent: a retransmitted Leave re-acks
+  } else {
+    // A leaving member gives back any floor it still holds.
+    release_holder(leave->member, leave->group);
+    accepted = registry_.leave(leave->member, leave->group);
+  }
+  ++sends_;
+  demux_.send(msg.from, wire_type(MsgKind::kLeaveAck),
+              encode(LeaveAckMsg{leave->member, leave->group, accepted}));
+}
+
+void FloorServer::handle_request(const net::Message& msg) {
+  const auto request = decode_request(msg);
+  if (!request) return;
+  stations_[request->member.value()] = msg.from;
+
+  // Duplicate suppression: an id we already decided is answered from the
+  // stored reply — re-arbitrating a retransmission would double-reserve.
+  const auto it = decided_.find(request->request_id);
+  if (it != decided_.end()) {
+    ++duplicate_requests_;
+    ++sends_;
+    demux_.send(msg.from, wire_type(it->second.reply_kind), it->second.reply_ints);
+    return;
+  }
+
+  floorctl::FloorRequest fr;
+  fr.group = request->group;
+  fr.member = request->member;
+  fr.mode = request->mode;
+  fr.host = request->host;
+  fr.qos = request->qos;
+  const floorctl::Decision decision = arbiter_.arbitrate(fr);
+  ++arbitrated_;
+
+  DecisionRecord record;
+  if (decision.outcome == floorctl::Outcome::kGranted ||
+      decision.outcome == floorctl::Outcome::kGrantedDegraded) {
+    record.reply_kind = MsgKind::kGrant;
+    record.reply_ints = encode(GrantMsg{
+        request->request_id,
+        decision.outcome == floorctl::Outcome::kGrantedDegraded,
+        decision.availability_after});
+    holder_request_[floorctl::holder_key(request->member, request->group)] =
+        request->request_id;
+    ++grants_sent_;
+  } else {
+    record.reply_kind = MsgKind::kDeny;
+    record.reply_ints = encode(DenyMsg{request->request_id, decision.outcome});
+    ++denies_sent_;
+  }
+  ++sends_;
+  demux_.send(msg.from, wire_type(record.reply_kind), record.reply_ints);
+  decided_.emplace(request->request_id, std::move(record));
+
+  // Push Media-Suspend to every holder this grant displaced. Only holders
+  // granted through this server are tracked; others have no wire state.
+  for (const floorctl::Holder& holder : decision.suspended) {
+    const auto req = holder_request_.find(floorctl::holder_key(holder.member, holder.group));
+    if (req == holder_request_.end()) continue;
+    notify(holder.member, MsgKind::kSuspend, req->second);
+  }
+}
+
+void FloorServer::handle_release(const net::Message& msg) {
+  const auto release = decode_release(msg);
+  if (!release) return;
+
+  const auto it = decided_.find(release->request_id);
+  if (it == decided_.end() || it->second.reply_kind != MsgKind::kGrant) {
+    // Releasing something never granted: ack anyway so the client converges
+    // (deny the *request*, not the release retry).
+    ++sends_;
+    demux_.send(msg.from, wire_type(MsgKind::kReleaseAck),
+                encode(ReleaseAckMsg{release->request_id}));
+    return;
+  }
+  if (it->second.released) {
+    ++duplicate_releases_;  // retransmitted release after a lost ack
+  } else {
+    it->second.released = true;
+    release_holder(release->member, release->group);
+  }
+  ++sends_;
+  demux_.send(msg.from, wire_type(MsgKind::kReleaseAck),
+              encode(ReleaseAckMsg{release->request_id}));
+}
+
+void FloorServer::release_holder(floorctl::MemberId member,
+                                 floorctl::GroupId group) {
+  const auto key = floorctl::holder_key(member, group);
+  const auto held = holder_request_.find(key);
+  if (held == holder_request_.end()) return;
+  holder_request_.erase(held);
+  const floorctl::ReleaseResult result = arbiter_.release(member, group);
+  // Freed capacity may Media-Resume suspended holders — tell their stations.
+  for (const floorctl::Holder& holder : result.resumed) {
+    const auto req = holder_request_.find(floorctl::holder_key(holder.member, holder.group));
+    if (req == holder_request_.end()) continue;  // resumed holder untracked
+    notify(holder.member, MsgKind::kResume, req->second);
+  }
+}
+
+void FloorServer::notify(floorctl::MemberId member, MsgKind kind,
+                         std::uint64_t request_id) {
+  const auto station = stations_.find(member.value());
+  if (station == stations_.end()) return;  // no known home station
+  const std::uint64_t notify_id = next_notify_id_++;
+  Notify pending;
+  pending.node = station->second;
+  pending.kind = kind;
+  pending.ints = kind == MsgKind::kSuspend
+                     ? encode(SuspendMsg{notify_id, request_id})
+                     : encode(ResumeMsg{notify_id, request_id});
+  if (kind == MsgKind::kSuspend) {
+    ++suspends_sent_;
+  } else {
+    ++resumes_sent_;
+  }
+  ++sends_;
+  demux_.send(pending.node, wire_type(kind), pending.ints);
+  pending.retry_event = demux_.sim().schedule_in(
+      config_.notify_retry, [this, notify_id] { notify_tick(notify_id); });
+  pending_notifies_.emplace(notify_id, std::move(pending));
+}
+
+void FloorServer::notify_tick(std::uint64_t notify_id) {
+  const auto it = pending_notifies_.find(notify_id);
+  if (it == pending_notifies_.end()) return;  // acked in the meantime
+  Notify& pending = it->second;
+  pending.retry_event = 0;
+  if (pending.tries >= config_.notify_max_tries) {
+    ++notifies_abandoned_;
+    pending_notifies_.erase(it);
+    return;
+  }
+  ++pending.tries;
+  ++notify_retransmits_;
+  ++sends_;
+  demux_.send(pending.node, wire_type(pending.kind), pending.ints);
+  pending.retry_event = demux_.sim().schedule_in(
+      config_.notify_retry, [this, notify_id] { notify_tick(notify_id); });
+}
+
+void FloorServer::handle_suspend_ack(const net::Message& msg) {
+  const auto ack = decode_suspend_ack(msg);
+  if (!ack) return;
+  const auto it = pending_notifies_.find(ack->notify_id);
+  if (it == pending_notifies_.end()) return;  // duplicate ack
+  if (it->second.retry_event != 0) demux_.sim().cancel(it->second.retry_event);
+  pending_notifies_.erase(it);
+}
+
+void FloorServer::handle_resume_ack(const net::Message& msg) {
+  const auto ack = decode_resume_ack(msg);
+  if (!ack) return;
+  const auto it = pending_notifies_.find(ack->notify_id);
+  if (it == pending_notifies_.end()) return;
+  if (it->second.retry_event != 0) demux_.sim().cancel(it->second.retry_event);
+  pending_notifies_.erase(it);
+}
+
+}  // namespace dmps::fproto

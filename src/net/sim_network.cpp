@@ -9,7 +9,33 @@ namespace {
 std::uint64_t pair_key(NodeId from, NodeId to) {
   return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
 }
+
+// Process-wide intern table. The library is single-threaded (everything
+// runs on one simulated timeline), so plain statics suffice.
+struct TypeTable {
+  std::unordered_map<std::string, MsgType::value_type> by_name;
+  std::vector<std::string> names;
+};
+
+TypeTable& type_table() {
+  static TypeTable table;
+  return table;
+}
 }  // namespace
+
+MsgType msg_type(std::string_view name) {
+  TypeTable& table = type_table();
+  const auto it = table.by_name.find(std::string(name));
+  if (it != table.by_name.end()) return MsgType(it->second);
+  const auto id = static_cast<MsgType::value_type>(table.names.size());
+  table.names.emplace_back(name);
+  table.by_name.emplace(table.names.back(), id);
+  return MsgType(id);
+}
+
+const std::string& msg_type_name(MsgType type) {
+  return type_table().names.at(type.value());
+}
 
 SimNetwork::SimNetwork(sim::Simulator& sim, std::uint64_t seed, LinkQuality default_link)
     : sim_(sim), rng_(seed), default_link_(default_link) {}
@@ -69,19 +95,25 @@ Demux::Demux(SimNetwork& network, NodeId node) : network_(network), node_(node) 
 
 Demux::~Demux() { network_.detach(node_, this); }
 
-bool Demux::on(std::string type, std::function<void(const Message&)> handler) {
-  return handlers_.emplace(std::move(type), std::move(handler)).second;
+bool Demux::on(MsgType type, std::function<void(const Message&)> handler) {
+  if (type.value() >= handlers_.size()) handlers_.resize(type.value() + 1);
+  if (handlers_[type.value()]) return false;
+  handlers_[type.value()] = std::move(handler);
+  return true;
 }
 
-void Demux::off(const std::string& type) { handlers_.erase(type); }
+void Demux::off(MsgType type) {
+  if (type.value() < handlers_.size()) handlers_[type.value()] = nullptr;
+}
 
-void Demux::send(NodeId to, std::string type, std::vector<std::int64_t> ints) {
-  network_.send(Message{node_, to, std::move(type), std::move(ints)});
+void Demux::send(NodeId to, MsgType type, std::vector<std::int64_t> ints) {
+  network_.send(Message{node_, to, type, std::move(ints)});
 }
 
 void Demux::dispatch(const Message& msg) {
-  const auto it = handlers_.find(msg.type);
-  if (it != handlers_.end()) it->second(msg);
+  if (msg.type.value() < handlers_.size() && handlers_[msg.type.value()]) {
+    handlers_[msg.type.value()](msg);
+  }
 }
 
 }  // namespace dmps::net

@@ -19,6 +19,19 @@ void TimedEngine::put_token(PlaceId p, util::TimePoint at) {
   for (const TransitionId t : net_.consumers(p)) refresh(t);
 }
 
+void TimedEngine::shift_pending(util::Duration d) {
+  if (d <= util::Duration::zero()) return;
+  for (auto& deque : tokens_) {
+    for (Token& token : deque) {
+      token.deposit += d;
+      token.mature += d;
+    }
+  }
+  // Every candidate may have moved; restamp them all (old heap entries go
+  // stale and are skipped on pop).
+  for (const TransitionId t : net_.transition_ids()) refresh(t);
+}
+
 std::optional<util::TimePoint> TimedEngine::candidate_time(TransitionId t) const {
   const auto& arcs = net_.inputs(t);
   if (arcs.empty()) return std::nullopt;  // source transitions never self-fire

@@ -1,0 +1,213 @@
+#include "session/presentation.hpp"
+
+#include <string>
+#include <utility>
+
+namespace dmps::session {
+
+using util::Duration;
+using util::TimePoint;
+
+struct Presentation::Station {
+  int index = 0;
+  floorctl::MemberId member;
+  net::NodeId node;
+  std::unique_ptr<net::Demux> demux;
+  std::unique_ptr<clk::DriftClock> local_clock;
+  std::unique_ptr<clk::GlobalClockClient> clock_client;
+  std::unique_ptr<clk::AdmissionController> admission;
+  media::MediaLibrary lib;
+  std::unique_ptr<docpn::Docpn> model;
+  std::unique_ptr<docpn::DocpnEngine> engine;
+  std::unique_ptr<fproto::FloorAgent> agent;
+
+  int attempts = 0;  // request attempts used (denials consume one)
+  int requests = 0, grants = 0, denies = 0, suspends = 0, resumes = 0,
+      releases = 0;
+  bool playback_started = false;
+  bool playback_finished = false;
+  TimePoint playback_started_at;
+  TimePoint playback_finished_at;
+};
+
+Presentation::Presentation(SessionConfig config)
+    : config_(std::move(config)),
+      network_(sim_, config_.seed,
+               net::LinkQuality{config_.up_latency, config_.jitter, config_.loss}),
+      server_node_(network_.add_node("server")),
+      server_demux_(std::make_unique<net::Demux>(network_, server_node_)),
+      server_clock_(sim_) {
+  clock_server_ =
+      std::make_unique<clk::GlobalClockServer>(*server_demux_, server_clock_);
+  arbiter_ = std::make_unique<floorctl::FloorArbiter>(registry_, server_clock_,
+                                                      config_.thresholds);
+  arbiter_->add_host(host_, config_.host_capacity);
+  chair_ = registry_.add_member("moderator", 1'000'000, host_);
+  group_ = registry_.create_group("session", floorctl::FcmMode::kFreeAccess, chair_);
+  floor_server_ = std::make_unique<fproto::FloorServer>(
+      *server_demux_, registry_, *arbiter_, config_.server);
+
+  for (int i = 0; i < config_.stations; ++i) {
+    auto station = std::make_unique<Station>();
+    Station& s = *station;
+    stations_.push_back(std::move(station));
+    s.index = i;
+    const std::string name = "station" + std::to_string(i);
+    // Priorities cycle 1..3 so arbitration has real suspension victims.
+    s.member = registry_.add_member(name, 1 + (i % 3), host_);
+    s.node = network_.add_node(name);
+
+    // Asymmetric links: uplink and downlink latency differ, and each
+    // station sits a little further from the server than the previous one.
+    const Duration skew = config_.per_station_skew * static_cast<double>(i);
+    network_.set_link(s.node, server_node_,
+                      net::LinkQuality{config_.up_latency + skew,
+                                       config_.jitter, config_.loss});
+    network_.set_link(server_node_, s.node,
+                      net::LinkQuality{config_.down_latency + skew,
+                                       config_.jitter, config_.loss});
+
+    s.demux = std::make_unique<net::Demux>(network_, s.node);
+    // Workstation oscillators: deterministic spread of drift and phase.
+    const double drift_ppm = ((i * 83) % 400) - 200.0;
+    const Duration phase = Duration::millis((i % 9) * 10 - 40);
+    s.local_clock = std::make_unique<clk::DriftClock>(sim_, drift_ppm, phase);
+    s.clock_client = std::make_unique<clk::GlobalClockClient>(
+        *s.demux, sim_, *s.local_clock, server_node_, config_.sync);
+    s.admission =
+        std::make_unique<clk::AdmissionController>(sim_, *s.clock_client);
+    s.clock_client->start();
+
+    // The station's presentation: a short title card, the main media, a
+    // short outro. Playout is paced by the station's own admitted clock.
+    const auto intro =
+        s.lib.add("intro" + std::to_string(i), media::MediaType::kImage,
+                  Duration::millis(400));
+    const auto body = s.lib.add("body" + std::to_string(i),
+                                media::MediaType::kVideo, config_.media_len);
+    const auto outro =
+        s.lib.add("outro" + std::to_string(i), media::MediaType::kText,
+                  Duration::millis(400));
+    ocpn::PresentationSpec spec;
+    spec.set_root(spec.seq({spec.media(intro), spec.media(body), spec.media(outro)}));
+    s.model = std::make_unique<docpn::Docpn>(s.lib, std::move(spec),
+                                             docpn::Docpn::Options{true});
+
+    docpn::EngineEvents engine_events;
+    engine_events.on_finished = [this, &s](TimePoint) {
+      s.playback_finished = true;
+      s.playback_finished_at = sim_.now();
+      // A finished presentation gives the floor back, so suspended holders
+      // can Media-Resume.
+      s.agent->release_floor();
+    };
+    s.engine = std::make_unique<docpn::DocpnEngine>(sim_, *s.admission, *s.model,
+                                                    std::move(engine_events));
+
+    fproto::AgentEvents events;
+    events.on_joined = [this, &s] { script_request(s); };
+    events.on_granted = [this, &s](std::uint64_t, bool) {
+      ++s.grants;
+      s.playback_started = true;
+      s.playback_started_at = sim_.now();
+      s.engine->start(s.admission->global_now());
+    };
+    events.on_denied = [this, &s](std::uint64_t, floorctl::Outcome) {
+      ++s.denies;
+      if (s.attempts < config_.max_request_attempts) {
+        sim_.schedule_in(config_.retry_backoff, [this, &s] { script_request(s); });
+      }
+    };
+    // A suspend that overtakes its grant still fires on_granted first (the
+    // agent synthesizes it), so playback is always started by the time
+    // pause/resume arrive.
+    events.on_suspended = [&s](std::uint64_t) {
+      ++s.suspends;
+      s.engine->pause();
+    };
+    events.on_resumed = [&s](std::uint64_t) {
+      ++s.resumes;
+      s.engine->resume();
+    };
+    events.on_released = [&s](std::uint64_t) { ++s.releases; };
+    s.agent = std::make_unique<fproto::FloorAgent>(
+        *s.demux, server_node_, s.member, group_, host_, config_.agent, events);
+
+    // Scripted entrances: stations trickle in, then request staggered.
+    sim_.schedule_in(Duration::millis(100 + 30 * i), [this, &s] { script_join(s); });
+  }
+}
+
+Presentation::~Presentation() = default;
+
+void Presentation::script_join(Station& s) { s.agent->join(); }
+
+void Presentation::script_request(Station& s) {
+  if (s.agent->state() != fproto::AgentState::kJoined) return;
+  if (s.attempts >= config_.max_request_attempts) return;
+  ++s.attempts;
+  // Stagger the first wave; retries land wherever the backoff put them.
+  const Duration delay =
+      s.requests == 0 ? config_.request_stagger * static_cast<double>(s.index)
+                      : Duration::zero();
+  sim_.schedule_in(delay, [this, &s] {
+    if (s.agent->state() != fproto::AgentState::kJoined) return;
+    if (s.agent->request_floor(config_.qos) != 0) ++s.requests;
+  });
+}
+
+SessionStats Presentation::run(util::Duration horizon) {
+  sim_.run_until(sim_.now() + horizon);
+  return stats();
+}
+
+SessionStats Presentation::stats() const {
+  SessionStats out;
+  out.stations = static_cast<int>(stations_.size());
+  for (const auto& station : stations_) {
+    const Station& s = *station;
+    out.requests_issued += s.requests;
+    out.granted += s.grants;
+    out.denied += s.denies;
+    out.released += s.releases;
+    out.suspends += s.suspends;
+    out.resumes += s.resumes;
+    out.playbacks_finished += s.playback_finished ? 1 : 0;
+    out.stuck_agents += s.agent->terminated() ? 0 : 1;
+    out.client_retransmits += s.agent->retransmits();
+    out.duplicates_suppressed += s.agent->duplicates_suppressed();
+    out.floor_messages += s.agent->messages_sent();
+  }
+  out.floor_messages += floor_server_->messages_sent();
+  out.server_arbitrations = floor_server_->requests_arbitrated();
+  out.server_duplicate_requests = floor_server_->duplicate_requests();
+  out.notify_retransmits = floor_server_->notify_retransmits();
+  out.notifies_pending = floor_server_->notifies_pending();
+  out.messages_sent = network_.sent();
+  out.messages_dropped = network_.dropped();
+  out.messages_delivered = network_.delivered();
+  return out;
+}
+
+StationSnapshot Presentation::station(int index) const {
+  const Station& s = *stations_.at(static_cast<std::size_t>(index));
+  StationSnapshot snap;
+  snap.state = s.agent->state();
+  snap.requests = s.requests;
+  snap.grants = s.grants;
+  snap.denies = s.denies;
+  snap.suspends = s.suspends;
+  snap.resumes = s.resumes;
+  snap.releases = s.releases;
+  snap.playback_started = s.playback_started;
+  snap.playback_finished = s.playback_finished;
+  if (s.playback_started) {
+    snap.playback_started_s = s.playback_started_at.to_seconds();
+  }
+  if (s.playback_finished) {
+    snap.playback_finished_s = s.playback_finished_at.to_seconds();
+  }
+  return snap;
+}
+
+}  // namespace dmps::session

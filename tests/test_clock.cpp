@@ -102,8 +102,8 @@ TEST(GlobalClockClient, StopCancelsPeriodicRounds) {
 
 TEST(GlobalClockServer, IgnoresMalformedProbes) {
   ClockWorld w;
-  w.client_demux.send(w.server_node, "clk.req", {});       // no payload
-  w.client_demux.send(w.server_node, "clk.req", {1});      // cookie only
+  w.client_demux.send(w.server_node, net::msg_type("clk.req"), {});       // no payload
+  w.client_demux.send(w.server_node, net::msg_type("clk.req"), {1});      // cookie only
   w.sim.run_until(TimePoint::from_seconds(1.0));
   EXPECT_EQ(w.server.probes_answered(), 0u);
 }

@@ -125,6 +125,60 @@ TEST(DocpnEngine, PlaysScheduleUnderGlobalClock) {
   }
 }
 
+TEST(DocpnEngine, PauseShiftsRemainingScheduleByTheSuspensionSpan) {
+  // Pause 4s in (intro done, 2s into the 10s body), resume 5s later: every
+  // remaining event lands exactly 5s late, nothing replays, nothing is lost.
+  SkipWorld w;
+  auto model = w.make_model(true);
+  std::vector<std::pair<std::string, double>> log;
+  const TimePoint t0 = w.sim.now();
+  docpn::EngineEvents events;
+  events.on_media_start = [&](media::MediaId m, TimePoint at) {
+    log.emplace_back("start:" + w.lib.get(m).name, (at - t0).to_seconds());
+  };
+  events.on_media_end = [&](media::MediaId m, TimePoint at, bool) {
+    log.emplace_back("end:" + w.lib.get(m).name, (at - t0).to_seconds());
+  };
+  docpn::DocpnEngine engine(w.sim, w.admission, model, events);
+  engine.start(t0);
+
+  w.sim.run_until(t0 + Duration::seconds(4));
+  ASSERT_TRUE(engine.pause());
+  EXPECT_TRUE(engine.paused());
+  EXPECT_FALSE(engine.pause());        // idempotent-rejecting
+  EXPECT_FALSE(engine.skip(w.body));   // no interaction while suspended
+  const std::size_t events_at_pause = log.size();
+  w.sim.run_until(t0 + Duration::seconds(9));
+  EXPECT_EQ(log.size(), events_at_pause);  // nothing fires while paused
+
+  ASSERT_TRUE(engine.resume());
+  EXPECT_FALSE(engine.resume());  // not paused anymore
+  w.sim.run_until(t0 + Duration::seconds(60));
+  EXPECT_TRUE(engine.finished());
+
+  ASSERT_EQ(log.size(), 6u);
+  const char* expected[] = {"start:intro", "end:intro", "start:body",
+                            "end:body",    "start:outro", "end:outro"};
+  // Unsuspended instants are 0,2,2,12,12,14; everything after the pause at
+  // t=4 shifts by the 5s suspension.
+  const double instants[] = {0, 2, 2, 17, 17, 19};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(log[i].first, expected[i]);
+    EXPECT_NEAR(log[i].second, instants[i], 0.1) << expected[i];
+  }
+}
+
+TEST(DocpnEngine, PauseBeforeStartAndAfterFinishIsRefused) {
+  SkipWorld w;
+  auto model = w.make_model(true);
+  docpn::DocpnEngine engine(w.sim, w.admission, model, {});
+  EXPECT_FALSE(engine.pause());  // not started
+  engine.start(w.sim.now());
+  w.sim.run_until(w.sim.now() + Duration::seconds(60));
+  ASSERT_TRUE(engine.finished());
+  EXPECT_FALSE(engine.pause());  // finished
+}
+
 TEST(Docpn, SkipRegistrationRules) {
   SkipWorld w;
   const auto unused = w.lib.add("unused", media::MediaType::kText,

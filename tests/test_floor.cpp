@@ -77,7 +77,7 @@ TEST_F(ArbiterFixture, DegradedRegimeSuspendsLowestPriorityFirst) {
 
   const auto d = arbiter.arbitrate(req(chair, 0.50));
   EXPECT_EQ(d.outcome, Outcome::kGrantedDegraded);
-  EXPECT_EQ(d.suspended, (std::vector<MemberId>{low1, low2}));
+  EXPECT_EQ(d.suspended, (std::vector<Holder>{{low1, group}, {low2, group}}));
   EXPECT_EQ(arbiter.suspended_grants(), 2u);
 }
 
@@ -86,7 +86,7 @@ TEST_F(ArbiterFixture, AvailabilityExactlyBetaIsDegradedNotAbort) {
   ASSERT_EQ(arbiter.host_manager(host)->availability(), 0.0625);  // == beta
   const auto d = arbiter.arbitrate(req(chair, 0.3));
   EXPECT_EQ(d.outcome, Outcome::kGrantedDegraded);
-  EXPECT_EQ(d.suspended, (std::vector<MemberId>{low1}));
+  EXPECT_EQ(d.suspended, (std::vector<Holder>{{low1, group}}));
 }
 
 TEST_F(ArbiterFixture, BelowBetaAbortsRegardlessOfPriority) {
@@ -104,7 +104,7 @@ TEST_F(ArbiterFixture, EqualPriorityIsNeverSuspended) {
   // (low1) may be suspended; that frees 0.35, enough for 0.4.
   const auto d1 = arbiter.arbitrate(req(mid, 0.4));
   EXPECT_EQ(d1.outcome, Outcome::kGrantedDegraded);
-  EXPECT_EQ(d1.suspended, (std::vector<MemberId>{low1}));
+  EXPECT_EQ(d1.suspended, (std::vector<Holder>{{low1, group}}));
   // Now only equal-priority holders remain: a further oversized request is
   // denied, and the tentative state rolls back (nothing newly suspended).
   const auto d2 = arbiter.arbitrate(req(mid, 0.5));
@@ -117,21 +117,23 @@ TEST_F(ArbiterFixture, ReleaseTriggersMediaResume) {
   ASSERT_EQ(arbiter.arbitrate(req(mid, 0.4)).outcome, Outcome::kGranted);
   const auto d = arbiter.arbitrate(req(chair, 0.5));
   ASSERT_EQ(d.outcome, Outcome::kGrantedDegraded);
-  ASSERT_EQ(d.suspended, (std::vector<MemberId>{low1}));
+  ASSERT_EQ(d.suspended, (std::vector<Holder>{{low1, group}}));
   ASSERT_EQ(arbiter.active_grants(), 2u);
 
   // The chair leaves: low1's suspended feed fits again and resumes.
-  EXPECT_TRUE(arbiter.release(chair, group));
+  const auto rel = arbiter.release(chair, group);
+  EXPECT_TRUE(rel.released);
+  EXPECT_EQ(rel.resumed, (std::vector<Holder>{{low1, group}}));  // Media-Resume reported
   EXPECT_EQ(arbiter.suspended_grants(), 0u);
   EXPECT_EQ(arbiter.active_grants(), 2u);
   EXPECT_NEAR(arbiter.host_manager(host)->availability(), 0.1, 1e-12);
 }
 
 TEST_F(ArbiterFixture, ReleaseIsIdempotentAndScopedToTheGroup) {
-  EXPECT_FALSE(arbiter.release(low1, group));  // nothing held
+  EXPECT_FALSE(arbiter.release(low1, group).released);  // nothing held
   ASSERT_EQ(arbiter.arbitrate(req(low1, 0.2)).outcome, Outcome::kGranted);
-  EXPECT_TRUE(arbiter.release(low1, group));
-  EXPECT_FALSE(arbiter.release(low1, group));
+  EXPECT_TRUE(arbiter.release(low1, group).released);
+  EXPECT_FALSE(arbiter.release(low1, group).released);
   EXPECT_EQ(arbiter.active_grants(), 0u);
   EXPECT_DOUBLE_EQ(arbiter.host_manager(host)->availability(), 1.0);
 }
@@ -167,8 +169,24 @@ TEST_F(ArbiterFixture, ReRegisteringAHostVoidsItsGrants) {
   arbiter.add_host(host, Resource{2.0, 2.0, 2.0});  // replacement wipes state
   EXPECT_EQ(arbiter.active_grants(), 0u);
   EXPECT_DOUBLE_EQ(arbiter.host_manager(host)->availability(), 1.0);
-  EXPECT_FALSE(arbiter.release(low1, group));  // old grant is gone, no crash
+  EXPECT_FALSE(arbiter.release(low1, group).released);  // old grant is gone, no crash
   EXPECT_EQ(arbiter.arbitrate(req(low1, 0.5)).outcome, Outcome::kGranted);
+}
+
+TEST_F(ArbiterFixture, ReleasedGrantSlotsAreRecycled) {
+  // Request/release churn must not grow the grants vector monotonically:
+  // released slots return to a free list and get reused.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(arbiter.arbitrate(req(low1, 0.3)).outcome, Outcome::kGranted);
+    ASSERT_EQ(arbiter.arbitrate(req(mid, 0.3)).outcome, Outcome::kGranted);
+    ASSERT_TRUE(arbiter.release(low1, group).released);
+    ASSERT_TRUE(arbiter.release(mid, group).released);
+  }
+  EXPECT_EQ(arbiter.active_grants(), 0u);
+  EXPECT_LE(arbiter.grant_slots(), 2u);  // peak concurrency, not churn volume
+  // Recycled slots still arbitrate correctly.
+  const auto d = arbiter.arbitrate(req(chair, 0.5));
+  EXPECT_EQ(d.outcome, Outcome::kGranted);
 }
 
 TEST(GroupRegistry, JoinLeaveChairRules) {

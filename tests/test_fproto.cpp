@@ -1,0 +1,454 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clock/drift_clock.hpp"
+#include "fproto/agent.hpp"
+#include "fproto/codec.hpp"
+#include "fproto/server.hpp"
+
+namespace {
+
+using namespace dmps;
+using namespace dmps::floorctl;
+using fproto::AgentState;
+using fproto::MsgKind;
+using resource::Resource;
+using resource::Thresholds;
+using util::Duration;
+using util::TimePoint;
+
+// ------------------------------------------------------------------- codec
+
+TEST(FprotoCodec, RoundTripsEveryKind) {
+  const MemberId m{7};
+  const GroupId g{3};
+  const HostId h{2};
+
+  {
+    const auto v = fproto::encode(fproto::JoinMsg{m, g});
+    const auto d = fproto::decode_join({{}, {}, wire_type(MsgKind::kJoin), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->member, m);
+    EXPECT_EQ(d->group, g);
+  }
+  {
+    const auto v = fproto::encode(fproto::JoinAckMsg{m, g, true});
+    const auto d =
+        fproto::decode_join_ack({{}, {}, wire_type(MsgKind::kJoinAck), v});
+    ASSERT_TRUE(d);
+    EXPECT_TRUE(d->accepted);
+  }
+  {
+    const auto v = fproto::encode(fproto::LeaveMsg{m, g});
+    const auto d = fproto::decode_leave({{}, {}, wire_type(MsgKind::kLeave), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->member, m);
+  }
+  {
+    const auto v = fproto::encode(fproto::LeaveAckMsg{m, g, false});
+    const auto d =
+        fproto::decode_leave_ack({{}, {}, wire_type(MsgKind::kLeaveAck), v});
+    ASSERT_TRUE(d);
+    EXPECT_FALSE(d->accepted);
+  }
+  {
+    fproto::RequestMsg r;
+    r.request_id = (7ull << 32) | 42;
+    r.member = m;
+    r.group = g;
+    r.host = h;
+    r.mode = FcmMode::kChaired;
+    r.qos = media::QosRequirement{0.125, 0.0625, 1.0 / 3.0};  // 1/3 is inexact
+    const auto v = fproto::encode(r);
+    const auto d =
+        fproto::decode_request({{}, {}, wire_type(MsgKind::kRequest), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->request_id, r.request_id);
+    EXPECT_EQ(d->member, m);
+    EXPECT_EQ(d->group, g);
+    EXPECT_EQ(d->host, h);
+    EXPECT_EQ(d->mode, FcmMode::kChaired);
+    // Bit-cast lanes: exact doubles, even non-dyadic ones.
+    EXPECT_EQ(d->qos.bandwidth, 0.125);
+    EXPECT_EQ(d->qos.cpu, 0.0625);
+    EXPECT_EQ(d->qos.memory, 1.0 / 3.0);
+  }
+  {
+    const auto v = fproto::encode(fproto::GrantMsg{99, true, 0.375});
+    const auto d = fproto::decode_grant({{}, {}, wire_type(MsgKind::kGrant), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->request_id, 99u);
+    EXPECT_TRUE(d->degraded);
+    EXPECT_EQ(d->availability, 0.375);
+  }
+  {
+    const auto v = fproto::encode(fproto::DenyMsg{99, Outcome::kAborted});
+    const auto d = fproto::decode_deny({{}, {}, wire_type(MsgKind::kDeny), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->outcome, Outcome::kAborted);
+  }
+  {
+    const auto v = fproto::encode(fproto::ReleaseMsg{99, m, g});
+    const auto d =
+        fproto::decode_release({{}, {}, wire_type(MsgKind::kRelease), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->request_id, 99u);
+    EXPECT_EQ(d->member, m);
+  }
+  {
+    const auto v = fproto::encode(fproto::ReleaseAckMsg{99});
+    const auto d =
+        fproto::decode_release_ack({{}, {}, wire_type(MsgKind::kReleaseAck), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->request_id, 99u);
+  }
+  {
+    const auto v = fproto::encode(fproto::SuspendMsg{5, 99});
+    const auto d =
+        fproto::decode_suspend({{}, {}, wire_type(MsgKind::kSuspend), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->notify_id, 5u);
+    EXPECT_EQ(d->request_id, 99u);
+  }
+  {
+    const auto v = fproto::encode(fproto::SuspendAckMsg{5});
+    const auto d = fproto::decode_suspend_ack(
+        {{}, {}, wire_type(MsgKind::kSuspendAck), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->notify_id, 5u);
+  }
+  {
+    const auto v = fproto::encode(fproto::ResumeMsg{6, 99});
+    const auto d = fproto::decode_resume({{}, {}, wire_type(MsgKind::kResume), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->notify_id, 6u);
+  }
+  {
+    const auto v = fproto::encode(fproto::ResumeAckMsg{6});
+    const auto d =
+        fproto::decode_resume_ack({{}, {}, wire_type(MsgKind::kResumeAck), v});
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->notify_id, 6u);
+  }
+}
+
+TEST(FprotoCodec, RejectsWrongTypeAndShortPayload) {
+  const auto good = fproto::encode(fproto::GrantMsg{1, false, 0.5});
+  // Right payload under the wrong wire type.
+  EXPECT_FALSE(fproto::decode_grant({{}, {}, wire_type(MsgKind::kDeny), good}));
+  // Right type, truncated payload.
+  EXPECT_FALSE(fproto::decode_grant(
+      {{}, {}, wire_type(MsgKind::kGrant), {good[0], good[1]}}));
+  EXPECT_FALSE(
+      fproto::decode_request({{}, {}, wire_type(MsgKind::kRequest), {1, 2, 3}}));
+  EXPECT_FALSE(fproto::decode_join({{}, {}, wire_type(MsgKind::kJoin), {}}));
+}
+
+// ----------------------------------------------------------- protocol world
+
+/// One server station plus N member stations over one lossy network.
+struct ProtoWorld {
+  sim::Simulator sim;
+  net::SimNetwork network;
+  net::NodeId server_node;
+  net::Demux server_demux;
+  clk::TrueClock clock;
+  GroupRegistry registry;
+  FloorArbiter arbiter;
+  HostId host{1};
+  MemberId chair;
+  GroupId group;
+  fproto::FloorServer server;
+
+  struct Station {
+    net::NodeId node;
+    std::unique_ptr<net::Demux> demux;
+    std::unique_ptr<fproto::FloorAgent> agent;
+    // Latest observed callbacks.
+    int granted = 0, denied = 0, suspended = 0, resumed = 0, released = 0;
+    int joined = 0, failed = 0;
+  };
+  std::vector<std::unique_ptr<Station>> stations;
+
+  explicit ProtoWorld(std::uint64_t seed, double loss,
+                      Resource capacity = Resource{1.0, 1.0, 1.0})
+      : network(sim, seed,
+                net::LinkQuality{Duration::millis(5), Duration::millis(2), loss}),
+        server_node(network.add_node("server")),
+        server_demux(network, server_node),
+        clock(sim),
+        arbiter(registry, clock, Thresholds{0.25, 0.05}),
+        server(server_demux, registry, arbiter, {Duration::millis(120), 200}) {
+    arbiter.add_host(host, capacity);
+    chair = registry.add_member("chair", 100, host);
+    group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+  }
+
+  Station& add_station(const std::string& name, int priority,
+                       fproto::AgentConfig config = {Duration::millis(120), 200}) {
+    auto station = std::make_unique<Station>();
+    Station& s = *station;
+    stations.push_back(std::move(station));
+    const MemberId member = registry.add_member(name, priority, host);
+    s.node = network.add_node(name);
+    s.demux = std::make_unique<net::Demux>(network, s.node);
+    fproto::AgentEvents events;
+    events.on_joined = [&s] { ++s.joined; };
+    events.on_granted = [&s](std::uint64_t, bool) { ++s.granted; };
+    events.on_denied = [&s](std::uint64_t, Outcome) { ++s.denied; };
+    events.on_suspended = [&s](std::uint64_t) { ++s.suspended; };
+    events.on_resumed = [&s](std::uint64_t) { ++s.resumed; };
+    events.on_released = [&s](std::uint64_t) { ++s.released; };
+    events.on_failed = [&s](AgentState) { ++s.failed; };
+    s.agent = std::make_unique<fproto::FloorAgent>(*s.demux, server_node, member,
+                                                   group, host, config, events);
+    return s;
+  }
+
+  void run_for(double seconds) {
+    sim.run_until(sim.now() + Duration::from_seconds(seconds));
+  }
+};
+
+TEST(FloorAgent, JoinRequestReleaseOnCleanLink) {
+  ProtoWorld w(11, 0.0);
+  auto& s = w.add_station("a", 1);
+  EXPECT_TRUE(s.agent->join());
+  EXPECT_FALSE(s.agent->join());  // one op at a time
+  w.run_for(1.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kJoined);
+  EXPECT_EQ(s.joined, 1);
+
+  const auto id = s.agent->request_floor(media::QosRequirement{0.4, 0.4, 0.4});
+  EXPECT_NE(id, 0u);
+  w.run_for(1.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kGranted);
+  EXPECT_EQ(s.granted, 1);
+  EXPECT_EQ(w.arbiter.active_grants(), 1u);
+
+  EXPECT_TRUE(s.agent->release_floor());
+  w.run_for(1.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kJoined);
+  EXPECT_EQ(s.released, 1);
+  EXPECT_EQ(w.arbiter.active_grants(), 0u);
+  // Clean link: nothing retransmitted, nothing duplicated.
+  EXPECT_EQ(s.agent->retransmits(), 0u);
+  EXPECT_EQ(w.server.duplicate_requests(), 0u);
+  EXPECT_EQ(w.server.requests_arbitrated(), 1u);
+}
+
+TEST(FloorAgent, RequestRetransmitsUntilGrantedUnderLoss) {
+  // 35% loss each way: the first transmission almost surely isn't the one
+  // that lands both directions. The agent must converge anyway, and the
+  // server must arbitrate exactly once no matter how many copies arrive.
+  ProtoWorld w(42, 0.35);
+  auto& s = w.add_station("a", 1);
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(10.0);
+  ASSERT_EQ(s.agent->state(), AgentState::kJoined);
+
+  s.agent->request_floor(media::QosRequirement{0.4, 0.4, 0.4});
+  w.run_for(20.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kGranted);
+  EXPECT_EQ(s.granted, 1);  // exactly one grant callback
+  EXPECT_GT(s.agent->retransmits(), 0u);
+  EXPECT_EQ(w.server.requests_arbitrated(), 1u);  // dedup held
+  EXPECT_EQ(w.arbiter.active_grants(), 1u);
+
+  // And the release leg converges the same way.
+  ASSERT_TRUE(s.agent->release_floor());
+  w.run_for(20.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kJoined);
+  EXPECT_EQ(s.released, 1);
+  EXPECT_EQ(w.arbiter.active_grants(), 0u);
+}
+
+TEST(FloorAgent, DuplicateGrantsAreSuppressed) {
+  ProtoWorld w(13, 0.0);
+  auto& s = w.add_station("a", 1);
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(1.0);
+  const auto id = s.agent->request_floor(media::QosRequirement{0.3, 0.3, 0.3});
+  w.run_for(1.0);
+  ASSERT_EQ(s.agent->state(), AgentState::kGranted);
+  ASSERT_EQ(s.granted, 1);
+
+  // Replay the server's Grant three times (a retransmission echo burst).
+  for (int i = 0; i < 3; ++i) {
+    w.network.send({w.server_node, s.node, wire_type(MsgKind::kGrant),
+                    fproto::encode(fproto::GrantMsg{id, false, 0.7})});
+  }
+  w.run_for(1.0);
+  EXPECT_EQ(s.granted, 1);  // no double start
+  EXPECT_EQ(s.agent->state(), AgentState::kGranted);
+  EXPECT_EQ(s.agent->duplicates_suppressed(), 3u);
+}
+
+TEST(FloorServer, RetransmittedRequestIsArbitratedOnce) {
+  ProtoWorld w(17, 0.0);
+  auto& s = w.add_station("a", 1);
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(1.0);
+  const auto id = s.agent->request_floor(media::QosRequirement{0.3, 0.3, 0.3});
+  w.run_for(1.0);
+  ASSERT_EQ(s.agent->state(), AgentState::kGranted);
+
+  // A late duplicate of the request hits the server after it decided.
+  fproto::RequestMsg dup;
+  dup.request_id = id;
+  dup.member = s.agent->member();
+  dup.group = w.group;
+  dup.host = w.host;
+  dup.qos = media::QosRequirement{0.3, 0.3, 0.3};
+  w.network.send({s.node, w.server_node, wire_type(MsgKind::kRequest),
+                  fproto::encode(dup)});
+  w.run_for(1.0);
+  EXPECT_EQ(w.server.requests_arbitrated(), 1u);
+  EXPECT_EQ(w.server.duplicate_requests(), 1u);
+  EXPECT_EQ(w.arbiter.active_grants(), 1u);  // not double-reserved
+  // The replayed reply reached the agent as a suppressed duplicate.
+  EXPECT_EQ(s.agent->duplicates_suppressed(), 1u);
+}
+
+TEST(FloorServer, SuspendAndResumeNotificationsSurviveLoss) {
+  // Capacity 1.0: "low" (priority 1) takes 0.6, then "high" (priority 5)
+  // asks for 0.6 — low must be Media-Suspended. When high releases, low is
+  // Media-Resumed. 30% loss each way: the notifications are retransmitted
+  // until acked.
+  ProtoWorld w(23, 0.30);
+  auto& low = w.add_station("low", 1);
+  auto& high = w.add_station("high", 5);
+  ASSERT_TRUE(low.agent->join());
+  ASSERT_TRUE(high.agent->join());
+  w.run_for(10.0);
+  ASSERT_EQ(low.agent->state(), AgentState::kJoined);
+  ASSERT_EQ(high.agent->state(), AgentState::kJoined);
+
+  low.agent->request_floor(media::QosRequirement{0.6, 0.6, 0.6});
+  w.run_for(15.0);
+  ASSERT_EQ(low.agent->state(), AgentState::kGranted);
+
+  high.agent->request_floor(media::QosRequirement{0.6, 0.6, 0.6});
+  w.run_for(15.0);
+  EXPECT_EQ(high.agent->state(), AgentState::kGranted);
+  EXPECT_EQ(low.agent->state(), AgentState::kSuspended);
+  EXPECT_EQ(low.suspended, 1);
+  EXPECT_EQ(w.server.suspends_sent(), 1u);
+
+  ASSERT_TRUE(high.agent->release_floor());
+  w.run_for(15.0);
+  EXPECT_EQ(high.agent->state(), AgentState::kJoined);
+  EXPECT_EQ(low.agent->state(), AgentState::kGranted);  // resumed
+  EXPECT_EQ(low.resumed, 1);
+  EXPECT_EQ(w.server.resumes_sent(), 1u);
+  EXPECT_EQ(w.server.notifies_pending(), 0u);  // every notification acked
+}
+
+TEST(FloorAgent, StaleSuspendCannotReSuspendAResumedGrant) {
+  // The retransmission race: Suspend(n1) applies but its ack is lost; the
+  // server later Resumes(n2); then the old Suspend(n1) is retransmitted.
+  // Notify ids are monotonic, so the replay must be acked-but-ignored —
+  // otherwise the agent re-suspends forever (no further Resume is coming).
+  ProtoWorld w(41, 0.0);
+  auto& s = w.add_station("a", 1);
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(1.0);
+  const auto id = s.agent->request_floor(media::QosRequirement{0.3, 0.3, 0.3});
+  w.run_for(1.0);
+  ASSERT_EQ(s.agent->state(), AgentState::kGranted);
+
+  const auto inject = [&](MsgKind kind, std::uint64_t notify_id) {
+    const auto ints = kind == MsgKind::kSuspend
+                          ? fproto::encode(fproto::SuspendMsg{notify_id, id})
+                          : fproto::encode(fproto::ResumeMsg{notify_id, id});
+    w.network.send({w.server_node, s.node, wire_type(kind), ints});
+  };
+  inject(MsgKind::kSuspend, 1);
+  w.run_for(1.0);
+  ASSERT_EQ(s.agent->state(), AgentState::kSuspended);
+  inject(MsgKind::kResume, 2);
+  w.run_for(1.0);
+  ASSERT_EQ(s.agent->state(), AgentState::kGranted);
+
+  inject(MsgKind::kSuspend, 1);  // the stale retransmission
+  w.run_for(1.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kGranted);  // NOT re-suspended
+  EXPECT_EQ(s.suspended, 1);
+  EXPECT_EQ(s.resumed, 1);
+
+  // Reorder variant: Resume(n4) beats Suspend(n3) to the station. The late
+  // Suspend is older than the highest applied id and must not suspend
+  // anything. (Injected with a gap so link jitter can't flip the order —
+  // the *arrival* order is the scenario under test.)
+  inject(MsgKind::kResume, 4);
+  w.run_for(0.5);
+  inject(MsgKind::kSuspend, 3);
+  w.run_for(1.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kGranted);
+  EXPECT_EQ(s.suspended, 1);
+}
+
+TEST(FloorAgent, SuspendOvertakingGrantSynthesizesTheGrant) {
+  // A Suspend for the agent's own pending request implies it was granted:
+  // the agent must surface on_granted (degraded) and then on_suspended, so
+  // callers' grant accounting stays consistent; the late Grant is a dup.
+  ProtoWorld w(43, 0.0);
+  auto& s = w.add_station("a", 1);
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(1.0);
+  // Blackhole the server->client link so the real Grant never arrives.
+  w.network.set_link(w.server_node, s.node,
+                     net::LinkQuality{Duration::millis(5), Duration::zero(), 1.0});
+  const auto id = s.agent->request_floor(media::QosRequirement{0.3, 0.3, 0.3});
+  w.run_for(0.5);
+  ASSERT_EQ(s.agent->state(), AgentState::kPending);
+  // Heal the link and inject the suspend notification directly.
+  w.network.set_link(w.server_node, s.node,
+                     net::LinkQuality{Duration::millis(5), Duration::zero(), 0.0});
+  w.network.send({w.server_node, s.node, wire_type(MsgKind::kSuspend),
+                  fproto::encode(fproto::SuspendMsg{1, id})});
+  w.run_for(1.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kSuspended);
+  EXPECT_EQ(s.granted, 1);  // synthesized grant
+  EXPECT_EQ(s.suspended, 1);
+  // The (retransmission-triggered) real Grant now lands as a duplicate.
+  w.network.send({w.server_node, s.node, wire_type(MsgKind::kGrant),
+                  fproto::encode(fproto::GrantMsg{id, false, 0.7})});
+  w.run_for(1.0);
+  EXPECT_EQ(s.granted, 1);
+  EXPECT_EQ(s.agent->state(), AgentState::kSuspended);
+}
+
+TEST(FloorAgent, ExhaustedRetriesFailTheOperation) {
+  ProtoWorld w(31, 0.0);
+  auto& s = w.add_station("a", 1, fproto::AgentConfig{Duration::millis(50), 4});
+  // Total blackout: nothing ever arrives at the server.
+  w.network.set_link(s.node, w.server_node,
+                     net::LinkQuality{Duration::millis(5), Duration::zero(), 1.0});
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(5.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kFailed);
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_FALSE(s.agent->terminated());  // failed is the visible stuck state
+  EXPECT_EQ(s.agent->retransmits(), 3u);  // max_tries - 1 resends
+}
+
+TEST(FloorAgent, LeaveReleasesHeldFloorServerSide) {
+  ProtoWorld w(37, 0.0);
+  auto& s = w.add_station("a", 1);
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(1.0);
+  s.agent->request_floor(media::QosRequirement{0.5, 0.5, 0.5});
+  w.run_for(1.0);
+  ASSERT_EQ(s.agent->state(), AgentState::kGranted);
+  ASSERT_EQ(w.arbiter.active_grants(), 1u);
+
+  ASSERT_TRUE(s.agent->leave());
+  w.run_for(1.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kIdle);
+  EXPECT_EQ(w.arbiter.active_grants(), 0u);  // server released on leave
+  EXPECT_FALSE(w.registry.in_group(s.agent->member(), w.group));
+}
+
+}  // namespace

@@ -14,17 +14,27 @@ struct NetFixture : ::testing::Test {
                           net::LinkQuality{Duration::millis(4), Duration::millis(3), 0.0}};
   net::NodeId a = network.add_node("a");
   net::NodeId b = network.add_node("b");
+  net::MsgType ping = net::msg_type("test.ping");
+  net::MsgType pong = net::msg_type("test.pong");
+  net::MsgType other = net::msg_type("test.other");
 };
+
+TEST_F(NetFixture, InterningIsIdempotentAndDense) {
+  EXPECT_EQ(net::msg_type("test.ping"), ping);  // same name, same id
+  EXPECT_NE(ping, pong);                        // distinct names, distinct ids
+  EXPECT_EQ(net::msg_type_name(ping), "test.ping");
+  EXPECT_EQ(net::msg_type_name(pong), "test.pong");
+}
 
 TEST_F(NetFixture, DeliversWithinLatencyPlusJitter) {
   net::Demux demux_b(network, b);
   double delivered_at = -1;
-  ASSERT_TRUE(demux_b.on("ping", [&](const net::Message& msg) {
+  ASSERT_TRUE(demux_b.on(ping, [&](const net::Message& msg) {
     EXPECT_EQ(msg.from, a);
     EXPECT_EQ(msg.ints.at(0), 7);
     delivered_at = sim.now().to_millis();
   }));
-  network.send(net::Message{a, b, "ping", {7}});
+  network.send(net::Message{a, b, ping, {7}});
   sim.run_until(TimePoint::from_seconds(1.0));
   EXPECT_GE(delivered_at, 4.0);
   EXPECT_LE(delivered_at, 7.0);
@@ -34,11 +44,11 @@ TEST_F(NetFixture, DeliversWithinLatencyPlusJitter) {
 TEST_F(NetFixture, DispatchesByTypeOnly) {
   net::Demux demux_b(network, b);
   int pings = 0, pongs = 0;
-  ASSERT_TRUE(demux_b.on("ping", [&](const net::Message&) { ++pings; }));
-  ASSERT_TRUE(demux_b.on("pong", [&](const net::Message&) { ++pongs; }));
-  network.send(net::Message{a, b, "ping", {}});
-  network.send(net::Message{a, b, "other", {}});
-  network.send(net::Message{a, b, "pong", {}});
+  ASSERT_TRUE(demux_b.on(ping, [&](const net::Message&) { ++pings; }));
+  ASSERT_TRUE(demux_b.on(pong, [&](const net::Message&) { ++pongs; }));
+  network.send(net::Message{a, b, ping, {}});
+  network.send(net::Message{a, b, other, {}});
+  network.send(net::Message{a, b, pong, {}});
   sim.run_until(TimePoint::from_seconds(1.0));
   EXPECT_EQ(pings, 1);
   EXPECT_EQ(pongs, 1);
@@ -48,15 +58,15 @@ TEST_F(NetFixture, LossyLinkDropsEverythingAtLossOne) {
   network.set_link(a, b, net::LinkQuality{Duration::millis(1), Duration::zero(), 1.0});
   net::Demux demux_b(network, b);
   int got = 0;
-  ASSERT_TRUE(demux_b.on("ping", [&](const net::Message&) { ++got; }));
-  for (int i = 0; i < 50; ++i) network.send(net::Message{a, b, "ping", {}});
+  ASSERT_TRUE(demux_b.on(ping, [&](const net::Message&) { ++got; }));
+  for (int i = 0; i < 50; ++i) network.send(net::Message{a, b, ping, {}});
   sim.run_until(TimePoint::from_seconds(1.0));
   EXPECT_EQ(got, 0);
   EXPECT_EQ(network.dropped(), 50u);
   // The reverse direction keeps the default (lossless) link.
   net::Demux demux_a(network, a);
-  ASSERT_TRUE(demux_a.on("ping", [&](const net::Message&) { ++got; }));
-  network.send(net::Message{b, a, "ping", {}});
+  ASSERT_TRUE(demux_a.on(ping, [&](const net::Message&) { ++got; }));
+  network.send(net::Message{b, a, ping, {}});
   sim.run_until(TimePoint::from_seconds(2.0));
   EXPECT_EQ(got, 1);
 }
@@ -64,17 +74,17 @@ TEST_F(NetFixture, LossyLinkDropsEverythingAtLossOne) {
 TEST_F(NetFixture, MessageTypesHaveOneOwner) {
   net::Demux demux_b(network, b);
   int first = 0, second = 0;
-  ASSERT_TRUE(demux_b.on("ping", [&](const net::Message&) { ++first; }));
+  ASSERT_TRUE(demux_b.on(ping, [&](const net::Message&) { ++first; }));
   // A second registration for the same type is refused, not a silent clobber.
-  EXPECT_FALSE(demux_b.on("ping", [&](const net::Message&) { ++second; }));
-  network.send(net::Message{a, b, "ping", {}});
+  EXPECT_FALSE(demux_b.on(ping, [&](const net::Message&) { ++second; }));
+  network.send(net::Message{a, b, ping, {}});
   sim.run_until(TimePoint::from_seconds(1.0));
   EXPECT_EQ(first, 1);
   EXPECT_EQ(second, 0);
   // off() frees the type for a new owner.
-  demux_b.off("ping");
-  ASSERT_TRUE(demux_b.on("ping", [&](const net::Message&) { ++second; }));
-  network.send(net::Message{a, b, "ping", {}});
+  demux_b.off(ping);
+  ASSERT_TRUE(demux_b.on(ping, [&](const net::Message&) { ++second; }));
+  network.send(net::Message{a, b, ping, {}});
   sim.run_until(TimePoint::from_seconds(2.0));
   EXPECT_EQ(first, 1);
   EXPECT_EQ(second, 1);

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "session/presentation.hpp"
+
+namespace {
+
+using namespace dmps;
+using fproto::AgentState;
+using util::Duration;
+
+TEST(Session, SuspendPausesPlaybackAndResumeContinuesAtTheRightPoint) {
+  // Two stations, clean links, capacity 1.0, 0.6 each: station0 (priority 1)
+  // is granted first; station1 (priority 2) doesn't fit, so station0 is
+  // Media-Suspended mid-playback. When station1 finishes and releases,
+  // station0 Media-Resumes and plays the *remainder* — its total wall span
+  // stretches by exactly the suspension, nothing replays.
+  session::SessionConfig config;
+  config.seed = 7;
+  config.stations = 2;
+  config.loss = 0.0;
+  config.qos = media::QosRequirement{0.6, 0.6, 0.6};
+  config.media_len = Duration::seconds(5);
+  config.request_stagger = Duration::millis(1500);
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(60));
+
+  EXPECT_EQ(stats.stuck_agents, 0);
+  EXPECT_EQ(stats.requests_issued, 2);
+  EXPECT_EQ(stats.granted, 2);
+  EXPECT_EQ(stats.denied, 0);
+  EXPECT_EQ(stats.released, 2);
+  EXPECT_EQ(stats.suspends, 1);
+  EXPECT_EQ(stats.resumes, 1);
+  EXPECT_EQ(stats.playbacks_finished, 2);
+  EXPECT_EQ(stats.notifies_pending, 0u);
+
+  const auto low = presentation.station(0);
+  const auto high = presentation.station(1);
+  EXPECT_EQ(low.suspends, 1);
+  EXPECT_EQ(low.resumes, 1);
+  EXPECT_EQ(high.suspends, 0);
+  ASSERT_TRUE(low.playback_finished);
+  ASSERT_TRUE(high.playback_finished);
+
+  // Unsuspended playout is 0.4 + 5 + 0.4 = 5.8s. station1's runs clean;
+  // station0's stretches by the span it sat suspended (which covers the
+  // rest of station1's playback), and must NOT have restarted from zero.
+  const double nominal = 5.8;
+  const double high_span = high.playback_finished_s - high.playback_started_s;
+  const double low_span = low.playback_finished_s - low.playback_started_s;
+  EXPECT_NEAR(high_span, nominal, 0.3);
+  EXPECT_GT(low_span, nominal + 0.5);  // definitely paused for a while
+  // Suspension span = time from station1's grant to its release (plus
+  // notification latency). station0's stretch must match it closely.
+  const double stretch = low_span - nominal;
+  EXPECT_NEAR(stretch, high_span, 1.0);
+  // Total session wall time is consistent with pause-and-continue, not
+  // restart-from-scratch (which would cost ~2 extra seconds).
+  EXPECT_LT(low.playback_finished_s, high.playback_finished_s + nominal + 1.0);
+}
+
+TEST(Session, LossyEightStationSessionEveryRequestTerminates) {
+  // The acceptance scenario: 8 stations, 2% loss, asymmetric links. Every
+  // issued request must terminate (granted or denied), every grant must be
+  // released, and no agent may be left with an operation in flight.
+  session::SessionConfig config;
+  config.seed = 2024;
+  config.stations = 8;
+  config.loss = 0.02;
+  // Enough retry budget that every station eventually gets the floor as
+  // earlier playbacks release capacity.
+  config.max_request_attempts = 10;
+  config.retry_backoff = Duration::millis(2500);
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(120));
+
+  EXPECT_EQ(stats.stuck_agents, 0);
+  EXPECT_GE(stats.requests_issued, 8);
+  EXPECT_EQ(stats.granted + stats.denied, stats.requests_issued);
+  EXPECT_EQ(stats.released, stats.granted);  // every grant given back
+  EXPECT_EQ(stats.playbacks_finished, stats.granted);  // each grant played out
+  EXPECT_EQ(stats.playbacks_finished, 8);
+  EXPECT_EQ(stats.notifies_pending, 0u);
+  EXPECT_GT(stats.messages_dropped, 0u);  // the link really was lossy
+  for (int i = 0; i < config.stations; ++i) {
+    EXPECT_EQ(presentation.station(i).state, AgentState::kJoined) << i;
+  }
+}
+
+TEST(Session, ContentionProducesSuspendResumeChurnUnderLoss) {
+  // Oversubscribed: 6 stations of 0.4 each against capacity 1.0 with mixed
+  // priorities — suspensions must actually happen, and still every agent
+  // terminates cleanly despite 3% loss.
+  session::SessionConfig config;
+  config.seed = 99;
+  config.stations = 6;
+  config.loss = 0.03;
+  config.qos = media::QosRequirement{0.4, 0.4, 0.4};
+  config.media_len = Duration::seconds(4);
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(120));
+
+  EXPECT_EQ(stats.stuck_agents, 0);
+  EXPECT_GT(stats.suspends, 0);
+  EXPECT_EQ(stats.granted + stats.denied, stats.requests_issued);
+  EXPECT_EQ(stats.released, stats.granted);
+  EXPECT_EQ(stats.notifies_pending, 0u);
+  EXPECT_EQ(stats.suspends, stats.resumes);  // no one left suspended
+}
+
+TEST(Session, SameSeedSameStory) {
+  session::SessionConfig config;
+  config.seed = 5;
+  config.stations = 5;
+  config.loss = 0.05;
+  session::Presentation a(config);
+  session::Presentation b(config);
+  const auto sa = a.run(Duration::seconds(90));
+  const auto sb = b.run(Duration::seconds(90));
+  EXPECT_EQ(sa.requests_issued, sb.requests_issued);
+  EXPECT_EQ(sa.granted, sb.granted);
+  EXPECT_EQ(sa.denied, sb.denied);
+  EXPECT_EQ(sa.suspends, sb.suspends);
+  EXPECT_EQ(sa.resumes, sb.resumes);
+  EXPECT_EQ(sa.client_retransmits, sb.client_retransmits);
+  EXPECT_EQ(sa.messages_sent, sb.messages_sent);
+  EXPECT_EQ(sa.messages_dropped, sb.messages_dropped);
+}
+
+}  // namespace
