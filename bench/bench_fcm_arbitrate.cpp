@@ -5,17 +5,20 @@
 //   full      (availability >= alpha) : requests granted outright,
 //   degraded  (beta <= avail < alpha) : granted after Media-Suspend,
 //   abort     (avail < beta)          : Abort-Arbitrate.
-// Reports outcome distribution per regime plus arbitration throughput.
+// Reports outcome distribution per regime plus arbitration throughput, and
+// sweeps the degraded path over active-grant counts M with the suspension
+// count k held fixed: the GrantStore indexes active grants by
+// (priority, seq), so victim selection costs O(k log M) — latency must
+// track k, not M.
 //
-// Micro: arbitrate+release round-trip cost vs group size (expected ~O(M) in
-// the degraded path, ~O(1) otherwise).
+// Micro: arbitrate+release round-trip cost vs group size.
 
 #include <chrono>
 #include <cstdlib>
 
 #include "bench_common.hpp"
 #include "clock/drift_clock.hpp"
-#include "floor/arbiter.hpp"
+#include "floor/service.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -30,13 +33,13 @@ struct Cluster {
   sim::Simulator sim;
   clk::TrueClock clock{sim};
   GroupRegistry registry;
-  FloorArbiter arbiter{registry, clock, Thresholds{0.25, 0.05}};
+  FloorService service{registry, clock, Thresholds{0.25, 0.05}};
   HostId host{1};
   GroupId group;
   std::vector<MemberId> members;
 
   explicit Cluster(int m, double capacity = 1.0) {
-    arbiter.add_host(host, Resource{capacity, capacity, capacity});
+    service.add_host(host, Resource{capacity, capacity, capacity});
     const auto chair = registry.add_member("chair", 3, host);
     group = registry.create_group("g", FcmMode::kFreeAccess, chair);
     members.push_back(chair);
@@ -89,15 +92,15 @@ void regime_scenario() {
     }
     for (int i = 0; i < c.preload_grants; ++i) {
       const auto member = juniors[i % juniors.size()];
-      (void)cluster.arbiter.arbitrate(cluster.request(member, 0.08));
+      (void)cluster.service.request(cluster.request(member, 0.08));
     }
     if (c.preload_direct > 0) {
-      (void)cluster.arbiter.arbitrate(
+      (void)cluster.service.request(
           cluster.request(cluster.members[0], c.preload_direct));
     }
     const double avail_before =
-        cluster.arbiter.host_manager(cluster.host)->availability();
-    const auto d = cluster.arbiter.arbitrate(cluster.request(cluster.members[0], 0.3));
+        cluster.service.host_manager(cluster.host)->availability();
+    const auto d = cluster.service.request(cluster.request(cluster.members[0], 0.3));
     dmps::bench::row("%-12s | %19.2f | %-16s | %9zu | %s", c.name, avail_before,
                 std::string(to_string(d.outcome)).c_str(), d.suspended.size(),
                 d.reason.c_str());
@@ -115,8 +118,8 @@ void throughput_scenario() {
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < requests; ++i) {
       const auto member = cluster.members[rng.index(cluster.members.size())];
-      (void)cluster.arbiter.arbitrate(cluster.request(member, 0.001));
-      cluster.arbiter.release(member, cluster.group);
+      (void)cluster.service.request(cluster.request(member, 0.001));
+      cluster.service.release(member, cluster.group);
     }
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t0)
@@ -126,31 +129,108 @@ void throughput_scenario() {
   }
 }
 
+/// A host fully loaded with M active grants arranged so a priority-3 probe
+/// must Media-Suspend exactly the k priority-1 "fat" holders: k fat grants
+/// of 0.4/k each (the suspension victims, lowest priority so the ordered
+/// walk meets them first) plus M-k priority-2 "tiny" grants filling another
+/// 0.4. Availability sits at 0.2 — the degraded regime — and the probe
+/// asks 0.6, which fits exactly after the k fat suspensions.
+struct DegradedWorld {
+  Cluster cluster;
+  MemberId prober;
+  double probe_qos;
+
+  DegradedWorld(int m, int k) : cluster(2, 1.0), probe_qos(0.6) {
+    // Dedicated members so priorities are exact (the Cluster ctor's cycling
+    // members are unused): k fat at priority 1, the rest tiny at priority 2.
+    prober = cluster.registry.add_member("prober", 3, cluster.host);
+    (void)cluster.registry.join(prober, cluster.group);
+    const double fat = 0.4 / k;
+    const double tiny = 0.4 / (m - k);
+    for (int i = 0; i < m; ++i) {
+      const bool is_fat = i < k;
+      const auto member = cluster.registry.add_member(
+          (is_fat ? "fat" : "tiny") + std::to_string(i), is_fat ? 1 : 2,
+          cluster.host);
+      (void)cluster.registry.join(member, cluster.group);
+      const auto d = cluster.service.request(
+          cluster.request(member, is_fat ? fat : tiny));
+      if (d.outcome != Outcome::kGranted &&
+          d.outcome != Outcome::kGrantedDegraded) {
+        std::fprintf(stderr, "degraded preload failed: %s\n", d.reason.c_str());
+        std::abort();
+      }
+    }
+  }
+
+  /// One probe arbitration (suspends the k fat holders), timed; the release
+  /// (which Media-Resumes them) restores the world for the next round.
+  double probe_once_us() {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto d = cluster.service.request(cluster.request(prober, probe_qos));
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (d.outcome != Outcome::kGrantedDegraded) {
+      std::fprintf(stderr, "degraded probe not degraded: %s\n", d.reason.c_str());
+      std::abort();
+    }
+    cluster.service.release(prober, cluster.group);
+    return us;
+  }
+};
+
+void degraded_sweep_scenario() {
+  // The ROADMAP perf item, measured: victim selection must scale with the
+  // number of suspensions k, not with the active-grant count M. Before the
+  // GrantStore index, every arbitration scanned (and sorted) all M grants.
+  dmps::bench::table_header(
+      "ALG-FCM: degraded-path arbitration latency vs active grants M and "
+      "suspensions k (index makes it O(k log M))",
+      "active_grants_M | suspensions_k | probes | avg_us | max_us");
+  for (const int m : {1'000, 10'000, 100'000}) {
+    for (const int k : {4, 64}) {
+      DegradedWorld world(m, k);
+      const int probes = 20;
+      (void)world.probe_once_us();  // warm-up round, untimed
+      double total_us = 0.0, max_us = 0.0;
+      for (int i = 0; i < probes; ++i) {
+        const double us = world.probe_once_us();
+        total_us += us;
+        if (us > max_us) max_us = us;
+      }
+      dmps::bench::row("%15d | %13d | %6d | %6.2f | %6.2f", m, k, probes,
+                       total_us / probes, max_us);
+    }
+  }
+}
+
 void BM_ArbitrateGrantRelease(benchmark::State& state) {
   Cluster cluster(static_cast<int>(state.range(0)), 1e9);
   util::Rng rng(7);
   for (auto _ : state) {
     const auto member = cluster.members[rng.index(cluster.members.size())];
-    auto d = cluster.arbiter.arbitrate(cluster.request(member, 0.001));
+    auto d = cluster.service.request(cluster.request(member, 0.001));
     benchmark::DoNotOptimize(d.outcome);
-    cluster.arbiter.release(member, cluster.group);
+    cluster.service.release(member, cluster.group);
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ArbitrateGrantRelease)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_ArbitrateDegradedPath(benchmark::State& state) {
-  // Worst case: each arbitration scans grants for suspension victims.
+  // Degraded arbitration with ~M/8 suspensions per probe: cost follows the
+  // suspension count (the ordered-index walk), not the grant population.
   const int m = static_cast<int>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
     Cluster cluster(m);
     for (int i = 1; i < m; ++i) {
-      (void)cluster.arbiter.arbitrate(
+      (void)cluster.service.request(
           cluster.request(cluster.members[i], 0.8 / m));
     }
     state.ResumeTiming();
-    auto d = cluster.arbiter.arbitrate(cluster.request(cluster.members[0], 0.3));
+    auto d = cluster.service.request(cluster.request(cluster.members[0], 0.3));
     benchmark::DoNotOptimize(d.suspended.size());
   }
 }
@@ -161,5 +241,6 @@ BENCHMARK(BM_ArbitrateDegradedPath)->Arg(16)->Arg(128)->Unit(benchmark::kMicrose
 int main(int argc, char** argv) {
   regime_scenario();
   throughput_scenario();
+  degraded_sweep_scenario();
   return dmps::bench::run_micro(argc, argv, "bench_fcm_arbitrate");
 }

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Diff this run's BENCH_*.json files against the previous run's.
+
+Usage: bench_diff.py BASELINE_DIR CURRENT_DIR
+
+Emits a GitHub-flavored markdown report (pipe it into $GITHUB_STEP_SUMMARY):
+per bench, every micro result is compared by name on cpu_time, and scenario
+tables with a matching title/shape are compared cell by cell wherever both
+cells parse as numbers. Slowdowns beyond the threshold are flagged.
+
+Exit code is always 0: shared CI runners are too noisy for a hard perf gate;
+the report is for humans reading the job summary.
+"""
+
+import json
+import os
+import sys
+
+REGRESSION_PCT = 25.0  # flag micro/cell slowdowns beyond this
+
+
+def load_benches(directory):
+    benches = {}
+    if not os.path.isdir(directory):
+        return benches
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as f:
+                benches[name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"> :warning: could not parse `{name}`: {err}")
+    return benches
+
+
+def try_float(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def pct(old, new):
+    if old == 0:
+        return 0.0
+    return (new - old) / old * 100.0
+
+
+def diff_micro(base, cur):
+    rows = []
+    base_by_name = {m["name"]: m for m in base.get("micro", [])}
+    for m in cur.get("micro", []):
+        b = base_by_name.get(m["name"])
+        if b is None:
+            rows.append((m["name"], None, m["cpu_time"], None, "new"))
+            continue
+        delta = pct(b["cpu_time"], m["cpu_time"])
+        flag = "REGRESSION" if delta > REGRESSION_PCT else ""
+        rows.append((m["name"], b["cpu_time"], m["cpu_time"], delta, flag))
+    return rows
+
+
+def diff_tables(base, cur):
+    """Cell-wise numeric diff for scenario tables with the same title+shape."""
+    flagged = []
+    base_by_title = {t["title"]: t for t in base.get("tables", [])}
+    for table in cur.get("tables", []):
+        b = base_by_title.get(table["title"])
+        if b is None or b.get("columns") != table.get("columns"):
+            continue
+        if len(b.get("rows", [])) != len(table.get("rows", [])):
+            continue
+        for r, (brow, crow) in enumerate(zip(b["rows"], table["rows"])):
+            if len(brow) != len(crow):
+                continue
+            for c, (bcell, ccell) in enumerate(zip(brow, crow)):
+                bval, cval = try_float(bcell), try_float(ccell)
+                if bval is None or cval is None or bval == cval:
+                    continue
+                delta = pct(bval, cval)
+                # Only time-like columns regress upward meaningfully; still
+                # report any large numeric swing so throughput drops show too.
+                if abs(delta) > REGRESSION_PCT:
+                    column = table["columns"][c] if c < len(table["columns"]) else f"col{c}"
+                    flagged.append((table["title"], r, column, bval, cval, delta))
+    return flagged
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 0
+    baseline_dir, current_dir = sys.argv[1], sys.argv[2]
+    baseline = load_benches(baseline_dir)
+    current = load_benches(current_dir)
+
+    print("## Bench diff vs previous run")
+    if not baseline:
+        print()
+        print("_No baseline from a previous run (first run on this branch?);"
+              " nothing to diff._")
+        return 0
+
+    regressions = 0
+    for name, cur in current.items():
+        base = baseline.get(name)
+        print(f"\n### `{name}`")
+        if base is None:
+            print("_new bench, no baseline_")
+            continue
+        micro = diff_micro(base, cur)
+        if micro:
+            print("\n| micro | prev cpu | now cpu | delta | |")
+            print("|---|---:|---:|---:|---|")
+            for bench_name, old, new, delta, flag in micro:
+                if delta is None:
+                    print(f"| {bench_name} | — | {new:.1f} | — | {flag} |")
+                else:
+                    regressions += flag == "REGRESSION"
+                    print(f"| {bench_name} | {old:.1f} | {new:.1f} | "
+                          f"{delta:+.1f}% | {flag} |")
+        cells = diff_tables(base, cur)
+        if cells:
+            print("\n| scenario cell swings > "
+                  f"{REGRESSION_PCT:.0f}% | prev | now | delta |")
+            print("|---|---:|---:|---:|")
+            for title, row, column, old, new, delta in cells:
+                print(f"| {title[:60]} · row {row} · {column} | {old:g} | "
+                      f"{new:g} | {delta:+.1f}% |")
+    removed = sorted(set(baseline) - set(current))
+    for name in removed:
+        print(f"\n_`{name}` existed in the previous run but not in this one._")
+
+    print()
+    if regressions:
+        print(f"**{regressions} micro regression(s) beyond "
+              f"{REGRESSION_PCT:.0f}% — check before merging.**")
+    else:
+        print("No micro regressions beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

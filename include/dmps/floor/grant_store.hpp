@@ -1,0 +1,146 @@
+#pragma once
+// GrantStore: ownership and indexing of every floor grant.
+//
+// One store serves all host stations. Per host it tracks the resource
+// manager plus two ordered indexes over the live grants:
+//
+//   active    — keyed (priority asc, seq asc): Media-Suspend victim
+//               selection walks from the front (lowest priority, then
+//               oldest) and stops as soon as the request fits, so choosing
+//               k victims among M active grants costs O(k log M), never a
+//               full scan;
+//   suspended — keyed (priority desc, seq asc): Media-Resume re-admits from
+//               the front (highest priority, then oldest) as capacity
+//               allows.
+//
+// Policies never touch grant slots directly: they operate through a
+// HostView, which exposes exactly the moves the disciplines are written in
+// (can_fit / suspend_to_fit / commit_grant / resume_suspended). Released
+// slots are recycled through a free list, so slot count is bounded by peak
+// concurrency, not request volume.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "clock/drift_clock.hpp"
+#include "floor/resource.hpp"
+#include "floor/types.hpp"
+
+namespace dmps::floorctl {
+
+class GrantStore {
+ public:
+  explicit GrantStore(clk::Clock& clock) : clock_(clock) {}
+
+  /// Register a host station and its capacity. Replacing a live host voids
+  /// every grant it held (their slots are recycled).
+  void add_host(HostId host, resource::Resource capacity);
+  resource::HostResourceManager* host_manager(HostId host);
+  bool has_host(HostId host) const {
+    return hosts_.find(host.value()) != hosts_.end();
+  }
+
+  class HostView;
+  /// A policy-facing handle onto one host's grants; nullopt for an
+  /// unregistered host.
+  std::optional<HostView> view(HostId host);
+
+  /// Release every grant (active or suspended) that `member` holds in
+  /// `group`, giving active grants' capacity back. Reports the hosts where
+  /// capacity was actually freed, so the caller can run the policy's
+  /// Media-Resume / promotion pass exactly there.
+  struct HolderRelease {
+    bool released = false;  // false: the member held nothing in the group
+    std::vector<HostId> freed_hosts;
+  };
+  HolderRelease release_holder(MemberId member, GroupId group);
+
+  std::size_t active_grants() const { return active_count_; }
+  std::size_t suspended_grants() const { return suspended_count_; }
+  /// Allocated grant slots (recycled via a free list; stays bounded by the
+  /// peak number of simultaneously live grants, not total request volume).
+  std::size_t grant_slots() const { return grants_.size(); }
+
+ private:
+  struct Grant {
+    MemberId member;
+    GroupId group;
+    HostId host;
+    resource::Resource amount;
+    int priority = 0;
+    std::uint64_t seq = 0;  // grant order; older = smaller
+    util::TimePoint granted_at;
+    bool suspended = false;
+    bool released = false;
+  };
+
+  /// (priority, seq) — seq is unique, so the pair is a total order.
+  using IndexKey = std::pair<int, std::uint64_t>;
+  /// Media-Resume order: highest priority first, then oldest.
+  struct ResumeOrder {
+    bool operator()(const IndexKey& a, const IndexKey& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+
+  struct HostState {
+    resource::HostResourceManager manager;
+    std::map<IndexKey, std::size_t> active;                // suspend order
+    std::map<IndexKey, std::size_t, ResumeOrder> suspended;  // resume order
+  };
+
+  std::size_t alloc_slot(Grant grant);
+  void drop_from_holder_index(std::size_t idx);
+  void void_grants_of_host(HostId host);
+
+  clk::Clock& clock_;
+  std::unordered_map<HostId::value_type, HostState> hosts_;
+  std::vector<Grant> grants_;
+  std::vector<std::size_t> free_slots_;  // released grant indices, reusable
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> holder_index_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t active_count_ = 0;
+  std::size_t suspended_count_ = 0;
+};
+
+/// The seam between GrantStore bookkeeping and ArbitrationPolicy logic: a
+/// borrowed handle onto one host, valid for the duration of one decide() or
+/// on_release() call.
+class GrantStore::HostView {
+ public:
+  HostId host() const { return host_; }
+  double availability() const { return state_->manager.availability(); }
+  bool can_fit(const resource::Resource& need) const {
+    return state_->manager.can_fit(need);
+  }
+
+  /// Media-Suspend: suspend strictly-lower-priority active holders (lowest
+  /// priority first, then oldest) until `need` fits. All-or-nothing — when
+  /// even suspending every junior holder is not enough, nothing changes and
+  /// the return is false. Suspended holders are appended to `suspended`.
+  bool suspend_to_fit(const resource::Resource& need, int priority,
+                      std::vector<Holder>& suspended);
+
+  /// Reserve `need` and record the grant as active.
+  void commit_grant(MemberId member, GroupId group,
+                    const resource::Resource& need, int priority);
+
+  /// Media-Resume: re-admit suspended holders, highest priority first, as
+  /// capacity allows; holders that still do not fit stay suspended.
+  void resume_suspended(std::vector<Holder>& resumed);
+
+ private:
+  friend class GrantStore;
+  HostView(GrantStore& store, HostState& state, HostId host)
+      : store_(&store), state_(&state), host_(host) {}
+
+  GrantStore* store_;
+  HostState* state_;
+  HostId host_;
+};
+
+}  // namespace dmps::floorctl

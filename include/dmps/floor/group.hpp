@@ -1,0 +1,58 @@
+#pragma once
+// Group membership for floor control.
+//
+// A GroupRegistry tracks members (with a priority and a home host station)
+// and the conference groups they join. Each group carries its own floor
+// discipline: an FcmMode (free-access vs chaired) and a PolicyKind naming
+// the ArbitrationPolicy that decides its requests — per-group policy
+// selection lives here, so a FloorService can moderate chaired panels and
+// BFCP-style queueing groups side by side in one conference.
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "floor/types.hpp"
+
+namespace dmps::floorctl {
+
+struct Member {
+  std::string name;
+  int priority = 1;  // higher outranks lower
+  HostId host;
+};
+
+struct Group {
+  std::string name;
+  FcmMode mode = FcmMode::kFreeAccess;
+  PolicyKind policy = PolicyKind::kThreeRegime;
+  MemberId chair;
+  std::vector<MemberId> members;  // join order, for iteration
+  std::unordered_set<MemberId, util::IdHash> member_set;  // O(1) membership
+};
+
+class GroupRegistry {
+ public:
+  MemberId add_member(std::string name, int priority, HostId host);
+  GroupId create_group(std::string name, FcmMode mode, MemberId chair,
+                       PolicyKind policy = PolicyKind::kThreeRegime);
+  bool join(MemberId member, GroupId group);
+  bool leave(MemberId member, GroupId group);
+  /// Swap the group's arbitration discipline (new requests only: grants and
+  /// queued requests already decided under the old policy are untouched).
+  bool set_policy(GroupId group, PolicyKind policy);
+
+  const Member& member(MemberId id) const { return members_.at(id.value()); }
+  const Group& group(GroupId id) const { return groups_.at(id.value()); }
+  bool has_member(MemberId id) const { return id.value() < members_.size(); }
+  bool has_group(GroupId id) const { return id.value() < groups_.size(); }
+  bool in_group(MemberId member, GroupId group) const;
+  std::size_t member_count() const { return members_.size(); }
+  std::size_t group_count() const { return groups_.size(); }
+
+ private:
+  std::vector<Member> members_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace dmps::floorctl

@@ -1,0 +1,116 @@
+#pragma once
+// Pluggable arbitration disciplines over a GrantStore.
+//
+// An ArbitrationPolicy is the exchangeable half of the floor-control core:
+// it decides requests and reacts to releases, touching grants only through
+// a GrantStore::HostView. Three disciplines ship:
+//
+//   ThreeRegimePolicy — the paper's §3 FCM-Arbitrate rule, verbatim:
+//                       full / degraded (Media-Suspend) / Abort-Arbitrate
+//                       keyed on availability vs the alpha/beta thresholds.
+//   ChairedPolicy     — chair pre-emption layered on any base policy: only
+//                       the group's chair may seize the floor; everything
+//                       else delegates to the base discipline.
+//   QueueingPolicy    — BFCP-style moderation: requests the three-regime
+//                       rule would refuse are parked in a per-group pending
+//                       queue (Outcome::kQueued) and granted in arrival
+//                       order when a release frees capacity.
+//
+// Policies are stateless across hosts except for QueueingPolicy's queues,
+// so one instance of each serves every group of a FloorService.
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+
+#include "floor/grant_store.hpp"
+#include "floor/types.hpp"
+
+namespace dmps::floorctl {
+
+/// Resolved per-request facts a policy may consult beyond the raw request.
+struct RequestContext {
+  int priority = 0;  // the requesting member's priority
+  MemberId chair;    // the group's chair
+};
+
+class ArbitrationPolicy {
+ public:
+  virtual ~ArbitrationPolicy() = default;
+
+  /// Decide one floor request against the requesting host's grants. The
+  /// caller (FloorService) has already validated membership and host.
+  virtual Decision decide(const FloorRequest& request,
+                          const RequestContext& ctx,
+                          GrantStore::HostView& host) = 0;
+
+  /// React to `freed`'s release on `host`: Media-Resume suspended holders
+  /// and (discipline permitting) promote parked requests into `out`.
+  virtual void on_release(const Holder& freed, GrantStore::HostView& host,
+                          ReleaseResult& out) = 0;
+
+  /// Drop any parked state the member has in the group (it released or
+  /// left); dropped requests are reported in `out.dequeued`.
+  virtual void cancel(MemberId member, GroupId group, ReleaseResult& out);
+};
+
+class ThreeRegimePolicy : public ArbitrationPolicy {
+ public:
+  explicit ThreeRegimePolicy(resource::Thresholds thresholds)
+      : thresholds_(thresholds) {}
+
+  Decision decide(const FloorRequest& request, const RequestContext& ctx,
+                  GrantStore::HostView& host) override;
+  void on_release(const Holder& freed, GrantStore::HostView& host,
+                  ReleaseResult& out) override;
+
+  const resource::Thresholds& thresholds() const { return thresholds_; }
+
+ private:
+  resource::Thresholds thresholds_;
+};
+
+class ChairedPolicy : public ArbitrationPolicy {
+ public:
+  explicit ChairedPolicy(ArbitrationPolicy& base) : base_(base) {}
+
+  Decision decide(const FloorRequest& request, const RequestContext& ctx,
+                  GrantStore::HostView& host) override;
+  void on_release(const Holder& freed, GrantStore::HostView& host,
+                  ReleaseResult& out) override {
+    base_.on_release(freed, host, out);
+  }
+  void cancel(MemberId member, GroupId group, ReleaseResult& out) override {
+    base_.cancel(member, group, out);
+  }
+
+ private:
+  ArbitrationPolicy& base_;
+};
+
+class QueueingPolicy : public ArbitrationPolicy {
+ public:
+  explicit QueueingPolicy(resource::Thresholds thresholds)
+      : base_(thresholds) {}
+
+  Decision decide(const FloorRequest& request, const RequestContext& ctx,
+                  GrantStore::HostView& host) override;
+  void on_release(const Holder& freed, GrantStore::HostView& host,
+                  ReleaseResult& out) override;
+  void cancel(MemberId member, GroupId group, ReleaseResult& out) override;
+
+  std::size_t queued(GroupId group) const;
+  std::size_t total_queued() const { return total_queued_; }
+
+ private:
+  struct Parked {
+    FloorRequest request;
+    int priority = 0;
+  };
+
+  ThreeRegimePolicy base_;  // the resource rule queueing is layered on
+  std::unordered_map<GroupId::value_type, std::deque<Parked>> queues_;
+  std::size_t total_queued_ = 0;
+};
+
+}  // namespace dmps::floorctl

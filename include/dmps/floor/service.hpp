@@ -1,0 +1,65 @@
+#pragma once
+// FloorService: the facade the rest of the system talks floor control to.
+//
+// A FloorService validates requests (membership, host), resolves the
+// group's discipline — its PolicyKind, with ChairedPolicy layered on top
+// when the group or the request asks for chaired arbitration — and runs
+// the chosen ArbitrationPolicy against the GrantStore it owns. Servers
+// (fproto::FloorServer), sessions and benches consume exactly this
+// interface and never see grant slots or policy internals; it is also the
+// seam a future sharded/federated server will implement per shard.
+
+#include <cstddef>
+
+#include "clock/drift_clock.hpp"
+#include "floor/grant_store.hpp"
+#include "floor/group.hpp"
+#include "floor/policy.hpp"
+#include "floor/types.hpp"
+
+namespace dmps::floorctl {
+
+class FloorService {
+ public:
+  FloorService(GroupRegistry& registry, clk::Clock& clock,
+               resource::Thresholds thresholds);
+
+  /// Register a host station and its capacity. Replaces any prior entry.
+  void add_host(HostId host, resource::Resource capacity);
+  resource::HostResourceManager* host_manager(HostId host) {
+    return store_.host_manager(host);
+  }
+
+  /// FCM-Arbitrate: decide one floor request under the group's discipline.
+  Decision request(const FloorRequest& request);
+
+  /// Release every floor `member` holds in `group` and drop its parked
+  /// requests, then run the group's release discipline: Media-Resume
+  /// suspended holders that now fit, and promote queued requests.
+  ReleaseResult release(MemberId member, GroupId group);
+
+  const resource::Thresholds& thresholds() const { return thresholds_; }
+  std::size_t active_grants() const { return store_.active_grants(); }
+  std::size_t suspended_grants() const { return store_.suspended_grants(); }
+  std::size_t grant_slots() const { return store_.grant_slots(); }
+  /// Requests parked across every queueing group.
+  std::size_t queued_requests() const { return queueing_.total_queued(); }
+  std::size_t queued_requests(GroupId group) const {
+    return queueing_.queued(group);
+  }
+
+  GrantStore& grants() { return store_; }
+
+ private:
+  ArbitrationPolicy& policy_for(const Group& group, FcmMode request_mode);
+
+  GroupRegistry& registry_;
+  resource::Thresholds thresholds_;
+  GrantStore store_;
+  ThreeRegimePolicy three_regime_;
+  QueueingPolicy queueing_;
+  ChairedPolicy chaired_three_regime_;
+  ChairedPolicy chaired_queueing_;
+};
+
+}  // namespace dmps::floorctl

@@ -1,0 +1,102 @@
+#pragma once
+// Floor-control vocabulary shared by the whole dmps::floorctl layer.
+//
+// The floor-control core is three separable pieces (see DESIGN.md §5a):
+//   GrantStore          — owns grant slots + per-host (priority, seq) indexes
+//   ArbitrationPolicy   — the pluggable discipline (three-regime, chaired,
+//                         BFCP-style queueing)
+//   FloorService        — the facade servers and sessions consume
+// This header holds only the types those pieces exchange: ids, disciplines,
+// requests, outcomes and results.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "media/media.hpp"
+#include "util/ids.hpp"
+
+namespace dmps::floorctl {
+
+using MemberId = util::StrongId<struct MemberTag>;
+using GroupId = util::StrongId<struct GroupTag>;
+using HostId = util::StrongId<struct HostTag>;
+
+/// Floor control disciplines. kFreeAccess arbitrates purely on resources
+/// and priority; kChaired additionally reserves the floor for the chair.
+enum class FcmMode { kFreeAccess, kChaired };
+
+/// Which ArbitrationPolicy decides a group's floor requests.
+///   kThreeRegime — the paper's §3 FCM-Arbitrate rule: refusals are final.
+///   kQueueing    — BFCP-style moderation: requests the three-regime rule
+///                  would refuse are parked in a per-group pending queue and
+///                  granted when capacity frees up (Outcome::kQueued).
+enum class PolicyKind { kThreeRegime, kQueueing };
+
+std::string_view to_string(PolicyKind kind);
+
+struct FloorRequest {
+  GroupId group;
+  MemberId member;
+  /// Discipline the requester asks for. The stricter of this and the
+  /// group's own mode applies: either being kChaired restricts the floor
+  /// to the chair.
+  FcmMode mode = FcmMode::kFreeAccess;
+  HostId host;
+  media::QosRequirement qos;
+};
+
+enum class Outcome {
+  kGranted,
+  kGrantedDegraded,
+  kAborted,
+  kDenied,
+  kQueued,  // parked by a QueueingPolicy; a grant (or dequeue) follows later
+};
+
+std::string_view to_string(Outcome outcome);
+
+/// Identifies one floor holding: which member, in which group. The protocol
+/// server routes Media-Suspend/Resume notifications by exactly this pair.
+struct Holder {
+  MemberId member;
+  GroupId group;
+  friend bool operator==(const Holder& a, const Holder& b) {
+    return a.member == b.member && a.group == b.group;
+  }
+  friend bool operator!=(const Holder& a, const Holder& b) { return !(a == b); }
+};
+
+/// The canonical map key for a floor holding; every component indexing
+/// state by (member, group) — grant-store slots, server-side request
+/// routing — must use this one packing.
+inline std::uint64_t holder_key(MemberId member, GroupId group) {
+  return (static_cast<std::uint64_t>(member.value()) << 32) | group.value();
+}
+
+struct Decision {
+  Outcome outcome = Outcome::kDenied;
+  std::vector<Holder> suspended;  // holders Media-Suspended for this grant
+  std::string reason;
+  double availability_before = 0.0;
+  double availability_after = 0.0;
+};
+
+/// A queued request granted by freed capacity (QueueingPolicy only): the
+/// decision carries availability and any holders the promotion itself had
+/// to Media-Suspend.
+struct Promotion {
+  Holder holder;
+  Decision decision;
+};
+
+struct ReleaseResult {
+  bool released = false;        // false: the member held nothing in the group
+  std::vector<Holder> resumed;  // holders Media-Resumed by the freed capacity
+  std::vector<Promotion> promoted;  // queued requests granted by the release
+  std::vector<Holder> dequeued;     // the releasing member's parked requests,
+                                    // dropped without a grant
+};
+
+}  // namespace dmps::floorctl

@@ -11,9 +11,15 @@
 //
 //   idle --join--> joining --JoinAck--> joined
 //   joined --request_floor--> pending --Grant--> granted --Deny--> joined
+//   pending --Queued--> queued --Grant--> granted --Deny--> joined
 //   granted <--Resume-- suspended <--Suspend-- granted
 //   granted/suspended --release_floor--> releasing --ReleaseAck--> joined
 //   any in-flight op that exhausts max_tries --> failed
+//
+// kQueued (a queueing group parked the request) keeps the request's
+// retransmission timer running as a poll: the server replays the stored
+// reply — kQueued while parked, the Grant once promoted — so the promotion
+// reaches the client even when the pushed Grant is lost.
 //
 // One agent per station node (it owns the fp.* client-side message types on
 // its Demux), one outstanding operation at a time.
@@ -32,6 +38,7 @@ enum class AgentState {
   kJoining,    // Join in flight
   kJoined,     // in the group, no floor business pending
   kPending,    // FloorRequest in flight
+  kQueued,     // request parked server-side; polling until Grant/Deny
   kGranted,    // holding the floor
   kSuspended,  // holding the floor, Media-Suspended by the server
   kReleasing,  // FloorRelease in flight
@@ -50,6 +57,7 @@ struct AgentEvents {
   std::function<void()> on_joined;
   std::function<void(std::uint64_t request_id, bool degraded)> on_granted;
   std::function<void(std::uint64_t request_id, floorctl::Outcome)> on_denied;
+  std::function<void(std::uint64_t request_id)> on_queued;
   std::function<void(std::uint64_t request_id)> on_suspended;
   std::function<void(std::uint64_t request_id)> on_resumed;
   std::function<void(std::uint64_t request_id)> on_released;
@@ -87,7 +95,8 @@ class FloorAgent {
 
   /// No client-driven operation is still in flight: the agent is parked in
   /// kIdle / kJoined / kGranted / kSuspended (kFailed counts as *not*
-  /// terminated — it is exactly the stuck case callers must see).
+  /// terminated — it is exactly the stuck case callers must see; kQueued is
+  /// likewise in flight: a Grant or Deny is still owed).
   bool terminated() const {
     return state_ == AgentState::kIdle || state_ == AgentState::kJoined ||
            state_ == AgentState::kGranted || state_ == AgentState::kSuspended;
@@ -107,6 +116,7 @@ class FloorAgent {
   void handle_leave_ack(const net::Message& msg);
   void handle_grant(const net::Message& msg);
   void handle_deny(const net::Message& msg);
+  void handle_queued(const net::Message& msg);
   void handle_release_ack(const net::Message& msg);
   void handle_suspend(const net::Message& msg);
   void handle_resume(const net::Message& msg);

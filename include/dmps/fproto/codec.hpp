@@ -1,14 +1,15 @@
 #pragma once
 // fproto wire codec: floor-control signalling packed into Message::ints.
 //
-// Thirteen message kinds put the paper's FCM on the wire. The client-driven
+// Fourteen message kinds put the paper's FCM on the wire. The client-driven
 // half is request/reply with client retransmission (Join/Leave/Request/
-// Release and their acks — the *reply* is the ack for Request: Grant or
-// Deny). The server-driven half is Media-Suspend/Media-Resume notifications,
-// retransmitted by the server until the holder's station acks. Every kind
-// has its own interned net::MsgType ("fp.request", "fp.grant", ...), so a
-// Demux dispatches straight to the right handler; the payload is a fixed
-// layout of int64s per kind (doubles travel bit-cast).
+// Release and their acks — the *reply* is the ack for Request: Grant, Deny
+// or Queued). The server-driven half is Media-Suspend/Media-Resume
+// notifications, retransmitted by the server until the holder's station
+// acks. Every kind has its own interned net::MsgType ("fp.request",
+// "fp.grant", ...), so a Demux dispatches straight to the right handler;
+// the payload is a fixed layout of int64s per kind (doubles travel
+// bit-cast).
 //
 // decode_*() returns nullopt on a malformed payload (wrong type or short
 // ints) — a lossy, reordering network must never crash an endpoint.
@@ -18,7 +19,7 @@
 #include <string_view>
 #include <vector>
 
-#include "floor/arbiter.hpp"
+#include "floor/types.hpp"
 #include "media/media.hpp"
 #include "net/sim_network.hpp"
 
@@ -32,6 +33,7 @@ enum class MsgKind {
   kRequest,     // c->s: FloorRequest
   kGrant,       // s->c: FloorGrant (full or degraded)
   kDeny,        // s->c: FloorDeny (denied or abort-arbitrate)
+  kQueued,      // s->c: request parked by a queueing group; grant follows
   kRelease,     // c->s: FloorRelease
   kReleaseAck,  // s->c
   kSuspend,     // s->c: MediaSuspend notification (server-reliable)
@@ -89,6 +91,15 @@ struct DenyMsg {
   floorctl::Outcome outcome = floorctl::Outcome::kDenied;  // kDenied | kAborted
 };
 
+/// The third possible reply to fp.request: the group runs a QueueingPolicy
+/// and parked the request. The client stops treating silence as loss and
+/// waits; its periodic request retransmission doubles as a poll, so the
+/// eventual promotion Grant (pushed once, then replayed to polls) survives
+/// a lossy link without extra reliability machinery.
+struct QueuedMsg {
+  std::uint64_t request_id = 0;
+};
+
 struct ReleaseMsg {
   std::uint64_t request_id = 0;
   floorctl::MemberId member;
@@ -126,6 +137,7 @@ std::vector<std::int64_t> encode(const LeaveAckMsg& m);
 std::vector<std::int64_t> encode(const RequestMsg& m);
 std::vector<std::int64_t> encode(const GrantMsg& m);
 std::vector<std::int64_t> encode(const DenyMsg& m);
+std::vector<std::int64_t> encode(const QueuedMsg& m);
 std::vector<std::int64_t> encode(const ReleaseMsg& m);
 std::vector<std::int64_t> encode(const ReleaseAckMsg& m);
 std::vector<std::int64_t> encode(const SuspendMsg& m);
@@ -140,6 +152,7 @@ std::optional<LeaveAckMsg> decode_leave_ack(const net::Message& msg);
 std::optional<RequestMsg> decode_request(const net::Message& msg);
 std::optional<GrantMsg> decode_grant(const net::Message& msg);
 std::optional<DenyMsg> decode_deny(const net::Message& msg);
+std::optional<QueuedMsg> decode_queued(const net::Message& msg);
 std::optional<ReleaseMsg> decode_release(const net::Message& msg);
 std::optional<ReleaseAckMsg> decode_release_ack(const net::Message& msg);
 std::optional<SuspendMsg> decode_suspend(const net::Message& msg);

@@ -2,23 +2,44 @@
 // Moderating floor server: the fproto endpoint that owns arbitration.
 //
 // Registers the client->server message types on its station's Demux, runs
-// every FloorRequest through the FloorArbiter, and answers with Grant /
-// Deny. The server is the retransmission-tolerant half of the protocol:
-// request and release handling is *idempotent* — a request id that was
-// already decided gets its stored reply resent without re-arbitration, a
-// release of an already-released grant is re-acked — so client retries under
-// loss can never double-allocate or double-free floor resources.
+// every FloorRequest through the FloorService facade, and answers with
+// Grant / Deny / Queued. The server is the retransmission-tolerant half of
+// the protocol: request and release handling is *idempotent* — a request id
+// that was already decided gets its stored reply resent without
+// re-arbitration, a release of an already-released grant is re-acked — so
+// client retries under loss can never double-allocate or double-free floor
+// resources.
 //
 // Media-Suspend/Resume are the server-driven, asynchronous half: when an
 // arbitration suspends lower-priority holders (or a release re-admits
 // them), the server pushes Suspend/Resume notifications to those holders'
 // home stations and retransmits each until the station acks it.
+//
+// Queueing groups add a third leg: a parked request is answered with
+// fp.queued, and the client's request retransmission becomes a poll. When a
+// release promotes the parked request, the server rewrites the stored reply
+// to the Grant and pushes it once — the poll replays it if the push is
+// lost, so promotions need no extra reliability machinery.
+//
+// Decided-request records age out: a member's next request id (its per-
+// member sequence is monotonic, one operation in flight at a time) proves
+// it saw every earlier reply, so all its older records are evicted and a
+// resurrected older id is refused without re-arbitration. decided_records()
+// therefore stays bounded by the member count, not by request volume.
+// Corollary: a MemberId's request-id namespace belongs to ONE FloorAgent
+// incarnation. A restarted station must register a fresh member (ids are
+// cheap) — re-using the id restarts the seq at 1, below the eviction
+// floor, and those requests are refused. (This was never supported: before
+// aging, the forever-kept record would instead replay a stale Grant for a
+// long-released floor, which is strictly worse.)
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 
-#include "floor/arbiter.hpp"
+#include "floor/group.hpp"
+#include "floor/service.hpp"
 #include "fproto/codec.hpp"
 #include "net/sim_network.hpp"
 #include "sim/simulator.hpp"
@@ -33,7 +54,7 @@ struct ServerConfig {
 class FloorServer {
  public:
   FloorServer(net::Demux& demux, floorctl::GroupRegistry& registry,
-              floorctl::FloorArbiter& arbiter, ServerConfig config);
+              floorctl::FloorService& service, ServerConfig config);
   ~FloorServer();
   FloorServer(const FloorServer&) = delete;
   FloorServer& operator=(const FloorServer&) = delete;
@@ -50,11 +71,16 @@ class FloorServer {
   std::uint64_t duplicate_releases() const { return duplicate_releases_; }
   std::uint64_t grants_sent() const { return grants_sent_; }
   std::uint64_t denies_sent() const { return denies_sent_; }
+  std::uint64_t queued_sent() const { return queued_sent_; }
+  std::uint64_t promotions_sent() const { return promotions_sent_; }
   std::uint64_t suspends_sent() const { return suspends_sent_; }
   std::uint64_t resumes_sent() const { return resumes_sent_; }
   std::uint64_t notify_retransmits() const { return notify_retransmits_; }
   std::uint64_t notifies_abandoned() const { return notifies_abandoned_; }
   std::size_t notifies_pending() const { return pending_notifies_.size(); }
+  /// Live decided-request records (aged out as members move on; bounded by
+  /// member count, not request volume).
+  std::size_t decided_records() const { return decided_.size(); }
 
  private:
   struct DecisionRecord {
@@ -62,6 +88,14 @@ class FloorServer {
     std::vector<std::int64_t> reply_ints;
     bool released = false;  // the grant has since been given back
   };
+  /// Per-member request history: record ids still alive (their seqs are
+  /// monotonic, so eviction pops from the front) and the seq floor below
+  /// which everything was already evicted.
+  struct MemberRecords {
+    std::deque<std::uint64_t> live;  // request ids with a decided_ entry
+    std::uint64_t evicted_below = 0;  // seqs < this were aged out
+  };
+
   void handle_join(const net::Message& msg);
   void handle_leave(const net::Message& msg);
   void handle_request(const net::Message& msg);
@@ -70,18 +104,23 @@ class FloorServer {
   void handle_resume_ack(const net::Message& msg);
 
   void release_holder(floorctl::MemberId member, floorctl::GroupId group);
+  void send_suspends(const std::vector<floorctl::Holder>& suspended);
+  void age_out_records(floorctl::MemberId member, std::uint64_t seq);
   void notify(floorctl::MemberId member, MsgKind kind, std::uint64_t request_id);
   void notify_tick(std::uint64_t notify_id);
 
   net::Demux& demux_;
   floorctl::GroupRegistry& registry_;
-  floorctl::FloorArbiter& arbiter_;
+  floorctl::FloorService& service_;
   ServerConfig config_;
 
   std::unordered_map<std::uint64_t, DecisionRecord> decided_;  // by request id
+  std::unordered_map<floorctl::MemberId::value_type, MemberRecords> member_records_;
   std::unordered_map<floorctl::MemberId::value_type, net::NodeId> stations_;
   // holder (member,group) -> its live granted request id
   std::unordered_map<std::uint64_t, std::uint64_t> holder_request_;
+  // parked (member,group) -> the queued request id awaiting promotion
+  std::unordered_map<std::uint64_t, std::uint64_t> queued_request_;
 
   struct Notify {
     net::NodeId node;
@@ -99,6 +138,8 @@ class FloorServer {
   std::uint64_t duplicate_releases_ = 0;
   std::uint64_t grants_sent_ = 0;
   std::uint64_t denies_sent_ = 0;
+  std::uint64_t queued_sent_ = 0;
+  std::uint64_t promotions_sent_ = 0;
   std::uint64_t suspends_sent_ = 0;
   std::uint64_t resumes_sent_ = 0;
   std::uint64_t notify_retransmits_ = 0;

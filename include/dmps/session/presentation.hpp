@@ -4,7 +4,7 @@
 //
 // A Presentation wires N client stations against one server station on a
 // shared SimNetwork. The server station runs the GlobalClockServer and the
-// fproto FloorServer (GroupRegistry + FloorArbiter). Each client station
+// fproto FloorServer (GroupRegistry + FloorService). Each client station
 // gets its own drifting local clock, a GlobalClockClient + Admission-
 // Controller, a DocpnEngine playing a small intro/body/outro presentation,
 // and a FloorAgent. Links are asymmetric per station and direction
@@ -23,6 +23,7 @@
 #include "clock/global_clock.hpp"
 #include "docpn/docpn.hpp"
 #include "docpn/engine.hpp"
+#include "floor/service.hpp"
 #include "fproto/agent.hpp"
 #include "fproto/server.hpp"
 #include "net/sim_network.hpp"
@@ -36,6 +37,10 @@ struct SessionConfig {
   // Server-side arbitration.
   resource::Resource host_capacity{1.0, 1.0, 1.0};
   resource::Thresholds thresholds{0.25, 0.05};
+  /// The session group's discipline: kThreeRegime bounces refused requests
+  /// back to the stations' retry script; kQueueing parks them server-side
+  /// and grants them as playbacks release the floor.
+  floorctl::PolicyKind policy = floorctl::PolicyKind::kThreeRegime;
 
   // Per-link model: uplink/downlink latency differ per station (asymmetry),
   // jitter and loss apply to every link.
@@ -62,6 +67,7 @@ struct SessionStats {
   int requests_issued = 0;
   int granted = 0;
   int denied = 0;       // kDenied + kAborted replies
+  int queued = 0;       // fp.queued replies applied at stations
   int released = 0;     // acked releases
   int suspends = 0;     // Media-Suspends applied at stations
   int resumes = 0;
@@ -85,6 +91,7 @@ struct StationSnapshot {
   int requests = 0;
   int grants = 0;
   int denies = 0;
+  int queues = 0;
   int suspends = 0;
   int resumes = 0;
   int releases = 0;
@@ -125,7 +132,7 @@ class Presentation {
   clk::TrueClock server_clock_;
   std::unique_ptr<clk::GlobalClockServer> clock_server_;
   floorctl::GroupRegistry registry_;
-  std::unique_ptr<floorctl::FloorArbiter> arbiter_;
+  std::unique_ptr<floorctl::FloorService> arbitration_;
   floorctl::HostId host_{1};
   floorctl::MemberId chair_;
   floorctl::GroupId group_;

@@ -1,0 +1,71 @@
+#include "floor/group.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dmps::floorctl {
+
+std::string_view to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kGranted: return "granted";
+    case Outcome::kGrantedDegraded: return "granted-degraded";
+    case Outcome::kAborted: return "aborted";
+    case Outcome::kDenied: return "denied";
+    case Outcome::kQueued: return "queued";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kThreeRegime: return "three-regime";
+    case PolicyKind::kQueueing: return "queueing";
+  }
+  return "unknown";
+}
+
+MemberId GroupRegistry::add_member(std::string name, int priority, HostId host) {
+  members_.push_back(Member{std::move(name), priority, host});
+  return MemberId(static_cast<MemberId::value_type>(members_.size() - 1));
+}
+
+GroupId GroupRegistry::create_group(std::string name, FcmMode mode,
+                                    MemberId chair, PolicyKind policy) {
+  if (!has_member(chair)) {
+    throw std::invalid_argument("create_group: chair is not a registered member");
+  }
+  groups_.push_back(Group{std::move(name), mode, policy, chair, {chair}, {chair}});
+  return GroupId(static_cast<GroupId::value_type>(groups_.size() - 1));
+}
+
+bool GroupRegistry::join(MemberId member, GroupId group) {
+  if (!has_member(member) || !has_group(group)) return false;
+  Group& g = groups_[group.value()];
+  if (!g.member_set.insert(member).second) return false;  // already in
+  g.members.push_back(member);
+  return true;
+}
+
+bool GroupRegistry::leave(MemberId member, GroupId group) {
+  if (!has_group(group)) return false;
+  Group& g = groups_[group.value()];
+  if (member == g.chair) return false;  // the chair anchors the group
+  if (g.member_set.erase(member) == 0) return false;
+  g.members.erase(std::find(g.members.begin(), g.members.end(), member));
+  return true;
+}
+
+bool GroupRegistry::set_policy(GroupId group, PolicyKind policy) {
+  if (!has_group(group)) return false;
+  groups_[group.value()].policy = policy;
+  return true;
+}
+
+bool GroupRegistry::in_group(MemberId member, GroupId group) const {
+  if (!has_group(group)) return false;
+  const Group& g = groups_[group.value()];
+  return g.member_set.count(member) > 0;
+}
+
+}  // namespace dmps::floorctl

@@ -1,0 +1,176 @@
+#include "floor/policy.hpp"
+
+#include <cstdio>
+
+namespace dmps::floorctl {
+
+void ArbitrationPolicy::cancel(MemberId, GroupId, ReleaseResult&) {}
+
+Decision ThreeRegimePolicy::decide(const FloorRequest& request,
+                                   const RequestContext& ctx,
+                                   GrantStore::HostView& host) {
+  Decision decision;
+  const double avail = host.availability();
+  decision.availability_before = avail;
+  const resource::Resource need = resource::Resource::from_qos(request.qos);
+  char buf[160];
+
+  // Regime 3: starved below beta — Abort-Arbitrate, no matter who asks.
+  if (avail < thresholds_.beta) {
+    decision.outcome = Outcome::kAborted;
+    std::snprintf(buf, sizeof(buf),
+                  "abort-arbitrate: availability %.3f < beta %.3f", avail,
+                  thresholds_.beta);
+    decision.reason = buf;
+    decision.availability_after = avail;
+    return decision;
+  }
+
+  const bool full_regime = avail >= thresholds_.alpha;
+
+  // Media-Suspend pass: if the request does not fit as-is, suspend strictly
+  // lower-priority holders (lowest priority first, then oldest) until it
+  // does. Runs in the degraded regime, or in the full regime for a request
+  // larger than the current headroom.
+  if (!host.can_fit(need) &&
+      !host.suspend_to_fit(need, ctx.priority, decision.suspended)) {
+    decision.outcome = Outcome::kDenied;
+    std::snprintf(buf, sizeof(buf),
+                  "denied: request does not fit even after media-suspend "
+                  "(availability %.3f)",
+                  avail);
+    decision.reason = buf;
+    decision.availability_after = host.availability();
+    return decision;
+  }
+
+  host.commit_grant(request.member, request.group, need, ctx.priority);
+
+  if (!decision.suspended.empty()) {
+    decision.outcome = Outcome::kGrantedDegraded;
+    std::snprintf(buf, sizeof(buf),
+                  "media-suspend freed capacity: %zu holder(s) suspended",
+                  decision.suspended.size());
+    decision.reason = buf;
+  } else if (full_regime) {
+    decision.outcome = Outcome::kGranted;
+    decision.reason = "full-service regime";
+  } else {
+    decision.outcome = Outcome::kGrantedDegraded;
+    std::snprintf(buf, sizeof(buf),
+                  "degraded regime (availability %.3f < alpha %.3f), fits "
+                  "without suspension",
+                  avail, thresholds_.alpha);
+    decision.reason = buf;
+  }
+  decision.availability_after = host.availability();
+  return decision;
+}
+
+void ThreeRegimePolicy::on_release(const Holder&, GrantStore::HostView& host,
+                                   ReleaseResult& out) {
+  host.resume_suspended(out.resumed);
+}
+
+Decision ChairedPolicy::decide(const FloorRequest& request,
+                               const RequestContext& ctx,
+                               GrantStore::HostView& host) {
+  if (request.member != ctx.chair) {
+    Decision decision;
+    decision.reason = "chaired discipline: only the chair may seize the floor";
+    return decision;  // kDenied
+  }
+  return base_.decide(request, ctx, host);
+}
+
+Decision QueueingPolicy::decide(const FloorRequest& request,
+                                const RequestContext& ctx,
+                                GrantStore::HostView& host) {
+  // A member already parked in this group re-requesting (e.g. a new attempt
+  // after its station recovered) keeps its queue position; only the payload
+  // is refreshed.
+  auto& queue = queues_[request.group.value()];
+  for (Parked& parked : queue) {
+    if (parked.request.member == request.member) {
+      parked.request = request;
+      parked.priority = ctx.priority;
+      Decision decision;
+      decision.outcome = Outcome::kQueued;
+      decision.reason = "queued: request already pending in this group";
+      decision.availability_before = host.availability();
+      decision.availability_after = decision.availability_before;
+      return decision;
+    }
+  }
+
+  Decision decision = base_.decide(request, ctx, host);
+  if (decision.outcome == Outcome::kGranted ||
+      decision.outcome == Outcome::kGrantedDegraded) {
+    return decision;
+  }
+  // BFCP-style moderation: park the refusal instead of bouncing the client
+  // into a retry loop; a later release grants it from the queue.
+  queue.push_back(Parked{request, ctx.priority});
+  ++total_queued_;
+  decision.outcome = Outcome::kQueued;
+  decision.reason = "queued: " + decision.reason;
+  return decision;
+}
+
+void QueueingPolicy::on_release(const Holder& freed,
+                                GrantStore::HostView& host,
+                                ReleaseResult& out) {
+  base_.on_release(freed, host, out);  // Media-Resume has priority over queue
+
+  const auto it = queues_.find(freed.group.value());
+  if (it == queues_.end()) return;
+  auto& queue = it->second;
+  // Grant parked requests in arrival order. An entry that still does not
+  // fit (or targets a host whose capacity did not change) keeps its place;
+  // the walk continues so a smaller request behind it is not starved.
+  for (auto parked = queue.begin(); parked != queue.end();) {
+    if (parked->request.host != host.host()) {
+      ++parked;
+      continue;
+    }
+    RequestContext ctx;
+    ctx.priority = parked->priority;
+    ctx.chair = MemberId::invalid();  // chair gating already ran at park time
+    Decision decision = base_.decide(parked->request, ctx, host);
+    if (decision.outcome != Outcome::kGranted &&
+        decision.outcome != Outcome::kGrantedDegraded) {
+      ++parked;
+      continue;
+    }
+    out.promoted.push_back(Promotion{
+        Holder{parked->request.member, parked->request.group},
+        std::move(decision)});
+    parked = queue.erase(parked);
+    --total_queued_;
+  }
+  if (queue.empty()) queues_.erase(it);
+}
+
+void QueueingPolicy::cancel(MemberId member, GroupId group,
+                            ReleaseResult& out) {
+  const auto it = queues_.find(group.value());
+  if (it == queues_.end()) return;
+  auto& queue = it->second;
+  for (auto parked = queue.begin(); parked != queue.end();) {
+    if (parked->request.member != member) {
+      ++parked;
+      continue;
+    }
+    out.dequeued.push_back(Holder{member, group});
+    parked = queue.erase(parked);
+    --total_queued_;
+  }
+  if (queue.empty()) queues_.erase(it);
+}
+
+std::size_t QueueingPolicy::queued(GroupId group) const {
+  const auto it = queues_.find(group.value());
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace dmps::floorctl

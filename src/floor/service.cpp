@@ -1,0 +1,70 @@
+#include "floor/service.hpp"
+
+namespace dmps::floorctl {
+
+FloorService::FloorService(GroupRegistry& registry, clk::Clock& clock,
+                           resource::Thresholds thresholds)
+    : registry_(registry),
+      thresholds_(thresholds),
+      store_(clock),
+      three_regime_(thresholds),
+      queueing_(thresholds),
+      chaired_three_regime_(three_regime_),
+      chaired_queueing_(queueing_) {}
+
+void FloorService::add_host(HostId host, resource::Resource capacity) {
+  store_.add_host(host, capacity);
+}
+
+ArbitrationPolicy& FloorService::policy_for(const Group& group,
+                                            FcmMode request_mode) {
+  // The chaired discipline applies when the group runs chaired, or when
+  // the requester itself asks for chaired arbitration.
+  const bool chaired =
+      group.mode == FcmMode::kChaired || request_mode == FcmMode::kChaired;
+  if (group.policy == PolicyKind::kQueueing) {
+    return chaired ? static_cast<ArbitrationPolicy&>(chaired_queueing_)
+                   : static_cast<ArbitrationPolicy&>(queueing_);
+  }
+  return chaired ? static_cast<ArbitrationPolicy&>(chaired_three_regime_)
+                 : static_cast<ArbitrationPolicy&>(three_regime_);
+}
+
+Decision FloorService::request(const FloorRequest& request) {
+  Decision decision;
+  if (!registry_.has_member(request.member) ||
+      !registry_.in_group(request.member, request.group)) {
+    decision.reason = "requester is not a member of the group";
+    return decision;
+  }
+  auto host = store_.view(request.host);
+  if (!host) {
+    decision.reason = "unknown host station";
+    return decision;
+  }
+  const Group& group = registry_.group(request.group);
+  RequestContext ctx;
+  ctx.priority = registry_.member(request.member).priority;
+  ctx.chair = group.chair;
+  return policy_for(group, request.mode).decide(request, ctx, *host);
+}
+
+ReleaseResult FloorService::release(MemberId member, GroupId group) {
+  ReleaseResult result;
+  const GrantStore::HolderRelease freed = store_.release_holder(member, group);
+  result.released = freed.released;
+  if (!registry_.has_group(group)) return result;
+
+  ArbitrationPolicy& policy =
+      policy_for(registry_.group(group), FcmMode::kFreeAccess);
+  // A releasing (or leaving) member abandons its parked requests too.
+  policy.cancel(member, group, result);
+  for (const HostId host_id : freed.freed_hosts) {
+    auto host = store_.view(host_id);
+    if (!host) continue;
+    policy.on_release(Holder{member, group}, *host, result);
+  }
+  return result;
+}
+
+}  // namespace dmps::floorctl

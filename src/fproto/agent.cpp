@@ -11,6 +11,7 @@ std::string_view to_string(AgentState state) {
     case AgentState::kJoining: return "joining";
     case AgentState::kJoined: return "joined";
     case AgentState::kPending: return "pending";
+    case AgentState::kQueued: return "queued";
     case AgentState::kGranted: return "granted";
     case AgentState::kSuspended: return "suspended";
     case AgentState::kReleasing: return "releasing";
@@ -48,6 +49,8 @@ FloorAgent::FloorAgent(net::Demux& demux, net::NodeId server,
                [this](const net::Message& m) { handle_leave_ack(m); });
   owned &= reg(MsgKind::kGrant, [this](const net::Message& m) { handle_grant(m); });
   owned &= reg(MsgKind::kDeny, [this](const net::Message& m) { handle_deny(m); });
+  owned &= reg(MsgKind::kQueued,
+               [this](const net::Message& m) { handle_queued(m); });
   owned &= reg(MsgKind::kReleaseAck,
                [this](const net::Message& m) { handle_release_ack(m); });
   owned &= reg(MsgKind::kSuspend,
@@ -64,7 +67,8 @@ FloorAgent::~FloorAgent() {
   if (retry_event_ != 0) demux_.sim().cancel(retry_event_);
   for (const MsgKind kind :
        {MsgKind::kJoinAck, MsgKind::kLeaveAck, MsgKind::kGrant, MsgKind::kDeny,
-        MsgKind::kReleaseAck, MsgKind::kSuspend, MsgKind::kResume}) {
+        MsgKind::kQueued, MsgKind::kReleaseAck, MsgKind::kSuspend,
+        MsgKind::kResume}) {
     demux_.off(wire_type(kind));
   }
 }
@@ -132,9 +136,11 @@ void FloorAgent::finish_op(AgentState next) {
 void FloorAgent::retry_tick() {
   retry_event_ = 0;
   // Only in-flight operations retransmit; a reply that landed between the
-  // schedule and this tick already cancelled the timer.
+  // schedule and this tick already cancelled the timer. kQueued keeps the
+  // request retransmitting as a poll of the server's stored decision.
   if (state_ != AgentState::kJoining && state_ != AgentState::kPending &&
-      state_ != AgentState::kReleasing && state_ != AgentState::kLeaving) {
+      state_ != AgentState::kQueued && state_ != AgentState::kReleasing &&
+      state_ != AgentState::kLeaving) {
     return;
   }
   if (tries_ >= config_.max_tries) {
@@ -177,7 +183,7 @@ void FloorAgent::handle_grant(const net::Message& msg) {
   const auto grant = decode_grant(msg);
   if (!grant) return;
   if (grant->request_id != current_request_id_ ||
-      state_ != AgentState::kPending) {
+      (state_ != AgentState::kPending && state_ != AgentState::kQueued)) {
     // A stale request's answer, or a duplicate triggered by our own
     // retransmissions after the first reply landed.
     ++duplicates_suppressed_;
@@ -190,12 +196,36 @@ void FloorAgent::handle_grant(const net::Message& msg) {
 void FloorAgent::handle_deny(const net::Message& msg) {
   const auto deny = decode_deny(msg);
   if (!deny) return;
-  if (deny->request_id != current_request_id_ || state_ != AgentState::kPending) {
+  if (deny->request_id != current_request_id_ ||
+      (state_ != AgentState::kPending && state_ != AgentState::kQueued)) {
     ++duplicates_suppressed_;
     return;
   }
   finish_op(AgentState::kJoined);
   if (events_.on_denied) events_.on_denied(deny->request_id, deny->outcome);
+}
+
+void FloorAgent::handle_queued(const net::Message& msg) {
+  const auto queued = decode_queued(msg);
+  if (!queued) return;
+  if (queued->request_id != current_request_id_ ||
+      state_ != AgentState::kPending) {
+    if (queued->request_id == current_request_id_ &&
+        state_ == AgentState::kQueued) {
+      // A poll replay: the server is alive and still parking us. Refresh
+      // the retry budget — a long but healthy queue wait must not exhaust
+      // max_tries; only an unanswered poll run should fail the agent.
+      tries_ = 1;
+    }
+    ++duplicates_suppressed_;
+    return;
+  }
+  // The request is parked, not lost: refresh the retry budget and keep the
+  // retransmission timer running as a poll. A Grant (promotion) or Deny
+  // (dequeued without a grant) ends the wait.
+  state_ = AgentState::kQueued;
+  tries_ = 1;
+  if (events_.on_queued) events_.on_queued(queued->request_id);
 }
 
 void FloorAgent::handle_release_ack(const net::Message& msg) {
@@ -228,11 +258,11 @@ void FloorAgent::handle_suspend(const net::Message& msg) {
   if (state_ == AgentState::kGranted) {
     state_ = AgentState::kSuspended;
     if (events_.on_suspended) events_.on_suspended(suspend->request_id);
-  } else if (state_ == AgentState::kPending) {
-    // The suspend overtook our grant on the wire: being suspended implies
-    // the request *was* granted. Deliver the grant (degraded — it arrived
-    // pre-empted) and then the suspension; the late Grant itself is then a
-    // duplicate.
+  } else if (state_ == AgentState::kPending || state_ == AgentState::kQueued) {
+    // The suspend overtook our grant on the wire (for a queued request, the
+    // promotion's Grant push): being suspended implies the request *was*
+    // granted. Deliver the grant (degraded — it arrived pre-empted) and
+    // then the suspension; the late Grant itself is then a duplicate.
     finish_op(AgentState::kSuspended);
     if (events_.on_granted) events_.on_granted(suspend->request_id, true);
     if (events_.on_suspended) events_.on_suspended(suspend->request_id);

@@ -50,6 +50,7 @@ std::string_view to_string(MsgKind kind) {
     case MsgKind::kRequest: return "fp.request";
     case MsgKind::kGrant: return "fp.grant";
     case MsgKind::kDeny: return "fp.deny";
+    case MsgKind::kQueued: return "fp.queued";
     case MsgKind::kRelease: return "fp.release";
     case MsgKind::kReleaseAck: return "fp.release_ack";
     case MsgKind::kSuspend: return "fp.suspend";
@@ -61,7 +62,7 @@ std::string_view to_string(MsgKind kind) {
 }
 
 net::MsgType wire_type(MsgKind kind) {
-  // 13 kinds, interned once each on first use.
+  // 14 kinds, interned once each on first use.
   static const net::MsgType types[] = {
       net::msg_type(to_string(MsgKind::kJoin)),
       net::msg_type(to_string(MsgKind::kJoinAck)),
@@ -70,6 +71,7 @@ net::MsgType wire_type(MsgKind kind) {
       net::msg_type(to_string(MsgKind::kRequest)),
       net::msg_type(to_string(MsgKind::kGrant)),
       net::msg_type(to_string(MsgKind::kDeny)),
+      net::msg_type(to_string(MsgKind::kQueued)),
       net::msg_type(to_string(MsgKind::kRelease)),
       net::msg_type(to_string(MsgKind::kReleaseAck)),
       net::msg_type(to_string(MsgKind::kSuspend)),
@@ -114,6 +116,10 @@ std::vector<std::int64_t> encode(const GrantMsg& m) {
 std::vector<std::int64_t> encode(const DenyMsg& m) {
   return {pack_u64(m.request_id),
           m.outcome == floorctl::Outcome::kAborted ? 1 : 0};
+}
+
+std::vector<std::int64_t> encode(const QueuedMsg& m) {
+  return {pack_u64(m.request_id)};
 }
 
 std::vector<std::int64_t> encode(const ReleaseMsg& m) {
@@ -205,6 +211,11 @@ std::optional<DenyMsg> decode_deny(const net::Message& msg) {
   m.outcome = msg.ints[1] != 0 ? floorctl::Outcome::kAborted
                                : floorctl::Outcome::kDenied;
   return m;
+}
+
+std::optional<QueuedMsg> decode_queued(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kQueued, 1)) return std::nullopt;
+  return QueuedMsg{unpack_u64(msg.ints[0])};
 }
 
 std::optional<ReleaseMsg> decode_release(const net::Message& msg) {

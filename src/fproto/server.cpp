@@ -5,9 +5,17 @@
 
 namespace dmps::fproto {
 
+namespace {
+/// Request ids pack (member << 32 | per-member seq); the seq half is what
+/// ages records out.
+std::uint64_t request_seq(std::uint64_t request_id) {
+  return request_id & 0xffffffffull;
+}
+}  // namespace
+
 FloorServer::FloorServer(net::Demux& demux, floorctl::GroupRegistry& registry,
-                         floorctl::FloorArbiter& arbiter, ServerConfig config)
-    : demux_(demux), registry_(registry), arbiter_(arbiter), config_(config) {
+                         floorctl::FloorService& service, ServerConfig config)
+    : demux_(demux), registry_(registry), service_(service), config_(config) {
   // Same rollback discipline as FloorAgent: on a conflict, deregister only
   // what this constructor managed to register, then throw.
   std::vector<MsgKind> registered;
@@ -74,13 +82,25 @@ void FloorServer::handle_leave(const net::Message& msg) {
   if (!registry_.in_group(leave->member, leave->group)) {
     accepted = true;  // idempotent: a retransmitted Leave re-acks
   } else {
-    // A leaving member gives back any floor it still holds.
+    // A leaving member gives back any floor it still holds (and abandons
+    // any request it still has parked in a queueing group).
     release_holder(leave->member, leave->group);
     accepted = registry_.leave(leave->member, leave->group);
   }
   ++sends_;
   demux_.send(msg.from, wire_type(MsgKind::kLeaveAck),
               encode(LeaveAckMsg{leave->member, leave->group, accepted}));
+}
+
+void FloorServer::age_out_records(floorctl::MemberId member, std::uint64_t seq) {
+  MemberRecords& records = member_records_[member.value()];
+  // A fresh request with seq s proves the member saw the reply to every
+  // operation with seq < s (one in-flight operation at a time): evict them.
+  while (!records.live.empty() && request_seq(records.live.front()) < seq) {
+    decided_.erase(records.live.front());
+    records.live.pop_front();
+  }
+  if (seq > records.evicted_below) records.evicted_below = seq;
 }
 
 void FloorServer::handle_request(const net::Message& msg) {
@@ -97,6 +117,19 @@ void FloorServer::handle_request(const net::Message& msg) {
     demux_.send(msg.from, wire_type(it->second.reply_kind), it->second.reply_ints);
     return;
   }
+  // A resurrected id below the member's eviction floor was decided and aged
+  // out long ago (the member has since moved on); refuse it without
+  // re-arbitration — deciding it afresh could double-reserve.
+  const auto aged = member_records_.find(request->member.value());
+  if (aged != member_records_.end() &&
+      request_seq(request->request_id) < aged->second.evicted_below) {
+    ++duplicate_requests_;
+    ++sends_;
+    demux_.send(msg.from, wire_type(MsgKind::kDeny),
+                encode(DenyMsg{request->request_id, floorctl::Outcome::kDenied}));
+    return;
+  }
+  age_out_records(request->member, request_seq(request->request_id));
 
   floorctl::FloorRequest fr;
   fr.group = request->group;
@@ -104,9 +137,10 @@ void FloorServer::handle_request(const net::Message& msg) {
   fr.mode = request->mode;
   fr.host = request->host;
   fr.qos = request->qos;
-  const floorctl::Decision decision = arbiter_.arbitrate(fr);
+  const floorctl::Decision decision = service_.request(fr);
   ++arbitrated_;
 
+  const auto key = floorctl::holder_key(request->member, request->group);
   DecisionRecord record;
   if (decision.outcome == floorctl::Outcome::kGranted ||
       decision.outcome == floorctl::Outcome::kGrantedDegraded) {
@@ -115,9 +149,15 @@ void FloorServer::handle_request(const net::Message& msg) {
         request->request_id,
         decision.outcome == floorctl::Outcome::kGrantedDegraded,
         decision.availability_after});
-    holder_request_[floorctl::holder_key(request->member, request->group)] =
-        request->request_id;
+    holder_request_[key] = request->request_id;
     ++grants_sent_;
+  } else if (decision.outcome == floorctl::Outcome::kQueued) {
+    record.reply_kind = MsgKind::kQueued;
+    record.reply_ints = encode(QueuedMsg{request->request_id});
+    // The newest id is the one the client polls with — the promotion Grant
+    // must be written for it.
+    queued_request_[key] = request->request_id;
+    ++queued_sent_;
   } else {
     record.reply_kind = MsgKind::kDeny;
     record.reply_ints = encode(DenyMsg{request->request_id, decision.outcome});
@@ -126,11 +166,18 @@ void FloorServer::handle_request(const net::Message& msg) {
   ++sends_;
   demux_.send(msg.from, wire_type(record.reply_kind), record.reply_ints);
   decided_.emplace(request->request_id, std::move(record));
+  member_records_[request->member.value()].live.push_back(request->request_id);
 
-  // Push Media-Suspend to every holder this grant displaced. Only holders
-  // granted through this server are tracked; others have no wire state.
-  for (const floorctl::Holder& holder : decision.suspended) {
-    const auto req = holder_request_.find(floorctl::holder_key(holder.member, holder.group));
+  // Push Media-Suspend to every holder this grant displaced.
+  send_suspends(decision.suspended);
+}
+
+void FloorServer::send_suspends(const std::vector<floorctl::Holder>& suspended) {
+  // Only holders granted through this server are tracked; others have no
+  // wire state.
+  for (const floorctl::Holder& holder : suspended) {
+    const auto req =
+        holder_request_.find(floorctl::holder_key(holder.member, holder.group));
     if (req == holder_request_.end()) continue;
     notify(holder.member, MsgKind::kSuspend, req->second);
   }
@@ -141,7 +188,7 @@ void FloorServer::handle_release(const net::Message& msg) {
   if (!release) return;
 
   const auto it = decided_.find(release->request_id);
-  if (it == decided_.end() || it->second.reply_kind != MsgKind::kGrant) {
+  if (it == decided_.end() || it->second.reply_kind == MsgKind::kDeny) {
     // Releasing something never granted: ack anyway so the client converges
     // (deny the *request*, not the release retry).
     ++sends_;
@@ -163,15 +210,69 @@ void FloorServer::handle_release(const net::Message& msg) {
 void FloorServer::release_holder(floorctl::MemberId member,
                                  floorctl::GroupId group) {
   const auto key = floorctl::holder_key(member, group);
-  const auto held = holder_request_.find(key);
-  if (held == holder_request_.end()) return;
-  holder_request_.erase(held);
-  const floorctl::ReleaseResult result = arbiter_.release(member, group);
+  const bool held = holder_request_.erase(key) > 0;
+  const bool parked = queued_request_.find(key) != queued_request_.end();
+  if (!held && !parked) return;
+  const floorctl::ReleaseResult result = service_.release(member, group);
+
   // Freed capacity may Media-Resume suspended holders — tell their stations.
   for (const floorctl::Holder& holder : result.resumed) {
     const auto req = holder_request_.find(floorctl::holder_key(holder.member, holder.group));
     if (req == holder_request_.end()) continue;  // resumed holder untracked
     notify(holder.member, MsgKind::kResume, req->second);
+  }
+
+  // Queued requests the release promoted: rewrite each one's stored reply
+  // from Queued to the Grant, push it once (the client's poll replays it if
+  // the push is lost), and suspend whoever the promotion displaced.
+  for (const floorctl::Promotion& promotion : result.promoted) {
+    const auto pkey =
+        floorctl::holder_key(promotion.holder.member, promotion.holder.group);
+    const auto queued = queued_request_.find(pkey);
+    if (queued == queued_request_.end()) continue;
+    const std::uint64_t request_id = queued->second;
+    queued_request_.erase(queued);
+    holder_request_[pkey] = request_id;
+    const std::vector<std::int64_t> reply = encode(GrantMsg{
+        request_id,
+        promotion.decision.outcome == floorctl::Outcome::kGrantedDegraded,
+        promotion.decision.availability_after});
+    const auto record = decided_.find(request_id);
+    if (record != decided_.end()) {
+      record->second.reply_kind = MsgKind::kGrant;
+      record->second.reply_ints = reply;
+    }
+    ++promotions_sent_;
+    ++grants_sent_;
+    const auto station = stations_.find(promotion.holder.member.value());
+    if (station != stations_.end()) {
+      ++sends_;
+      demux_.send(station->second, wire_type(MsgKind::kGrant), reply);
+    }
+    send_suspends(promotion.decision.suspended);
+  }
+
+  // Parked requests the releasing member abandoned (it left the group):
+  // rewrite the stored reply to a Deny so its polls converge.
+  for (const floorctl::Holder& holder : result.dequeued) {
+    const auto dkey = floorctl::holder_key(holder.member, holder.group);
+    const auto queued = queued_request_.find(dkey);
+    if (queued == queued_request_.end()) continue;
+    const std::uint64_t request_id = queued->second;
+    queued_request_.erase(queued);
+    const std::vector<std::int64_t> reply =
+        encode(DenyMsg{request_id, floorctl::Outcome::kDenied});
+    const auto record = decided_.find(request_id);
+    if (record != decided_.end()) {
+      record->second.reply_kind = MsgKind::kDeny;
+      record->second.reply_ints = reply;
+    }
+    ++denies_sent_;
+    const auto station = stations_.find(holder.member.value());
+    if (station != stations_.end()) {
+      ++sends_;
+      demux_.send(station->second, wire_type(MsgKind::kDeny), reply);
+    }
   }
 }
 

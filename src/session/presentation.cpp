@@ -22,8 +22,8 @@ struct Presentation::Station {
   std::unique_ptr<fproto::FloorAgent> agent;
 
   int attempts = 0;  // request attempts used (denials consume one)
-  int requests = 0, grants = 0, denies = 0, suspends = 0, resumes = 0,
-      releases = 0;
+  int requests = 0, grants = 0, denies = 0, queues = 0, suspends = 0,
+      resumes = 0, releases = 0;
   bool playback_started = false;
   bool playback_finished = false;
   TimePoint playback_started_at;
@@ -39,13 +39,14 @@ Presentation::Presentation(SessionConfig config)
       server_clock_(sim_) {
   clock_server_ =
       std::make_unique<clk::GlobalClockServer>(*server_demux_, server_clock_);
-  arbiter_ = std::make_unique<floorctl::FloorArbiter>(registry_, server_clock_,
-                                                      config_.thresholds);
-  arbiter_->add_host(host_, config_.host_capacity);
+  arbitration_ = std::make_unique<floorctl::FloorService>(
+      registry_, server_clock_, config_.thresholds);
+  arbitration_->add_host(host_, config_.host_capacity);
   chair_ = registry_.add_member("moderator", 1'000'000, host_);
-  group_ = registry_.create_group("session", floorctl::FcmMode::kFreeAccess, chair_);
+  group_ = registry_.create_group("session", floorctl::FcmMode::kFreeAccess,
+                                  chair_, config_.policy);
   floor_server_ = std::make_unique<fproto::FloorServer>(
-      *server_demux_, registry_, *arbiter_, config_.server);
+      *server_demux_, registry_, *arbitration_, config_.server);
 
   for (int i = 0; i < config_.stations; ++i) {
     auto station = std::make_unique<Station>();
@@ -118,6 +119,9 @@ Presentation::Presentation(SessionConfig config)
         sim_.schedule_in(config_.retry_backoff, [this, &s] { script_request(s); });
       }
     };
+    // A queueing group parks the request server-side: the station just
+    // waits for the promotion Grant instead of burning a retry attempt.
+    events.on_queued = [&s](std::uint64_t) { ++s.queues; };
     // A suspend that overtakes its grant still fires on_granted first (the
     // agent synthesizes it), so playback is always started by the time
     // pause/resume arrive.
@@ -169,6 +173,7 @@ SessionStats Presentation::stats() const {
     out.requests_issued += s.requests;
     out.granted += s.grants;
     out.denied += s.denies;
+    out.queued += s.queues;
     out.released += s.releases;
     out.suspends += s.suspends;
     out.resumes += s.resumes;
@@ -196,6 +201,7 @@ StationSnapshot Presentation::station(int index) const {
   snap.requests = s.requests;
   snap.grants = s.grants;
   snap.denies = s.denies;
+  snap.queues = s.queues;
   snap.suspends = s.suspends;
   snap.resumes = s.resumes;
   snap.releases = s.releases;

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "clock/drift_clock.hpp"
-#include "floor/arbiter.hpp"
+#include "floor/service.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -11,18 +11,18 @@ using namespace dmps::floorctl;
 using resource::Resource;
 using resource::Thresholds;
 
-struct ArbiterFixture : ::testing::Test {
+struct ServiceFixture : ::testing::Test {
   sim::Simulator sim;
   clk::TrueClock clock{sim};
   GroupRegistry registry;
   // beta = 1/16 so the exact-boundary cases below are binary-exact.
-  FloorArbiter arbiter{registry, clock, Thresholds{0.25, 0.0625}};
+  FloorService service{registry, clock, Thresholds{0.25, 0.0625}};
   HostId host{1};
   GroupId group;
   MemberId chair, low1, low2, low3, mid;
 
-  ArbiterFixture() {
-    arbiter.add_host(host, Resource{1.0, 1.0, 1.0});
+  ServiceFixture() {
+    service.add_host(host, Resource{1.0, 1.0, 1.0});
     chair = registry.add_member("chair", 3, host);
     group = registry.create_group("g", FcmMode::kFreeAccess, chair);
     low1 = registry.add_member("low1", 1, host);
@@ -42,151 +42,267 @@ struct ArbiterFixture : ::testing::Test {
   }
 };
 
-TEST_F(ArbiterFixture, FullRegimeGrantsOutright) {
-  const auto d = arbiter.arbitrate(req(low1, 0.5));
+TEST_F(ServiceFixture, FullRegimeGrantsOutright) {
+  const auto d = service.request(req(low1, 0.5));
   EXPECT_EQ(d.outcome, Outcome::kGranted);
   EXPECT_TRUE(d.suspended.empty());
   EXPECT_EQ(d.availability_before, 1.0);
   EXPECT_EQ(d.availability_after, 0.5);
 }
 
-TEST_F(ArbiterFixture, AvailabilityExactlyAlphaIsStillFullService) {
-  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.75)).outcome, Outcome::kGranted);
-  ASSERT_EQ(arbiter.host_manager(host)->availability(), 0.25);
-  const auto d = arbiter.arbitrate(req(chair, 0.1));
+TEST_F(ServiceFixture, AvailabilityExactlyAlphaIsStillFullService) {
+  ASSERT_EQ(service.request(req(low1, 0.75)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.host_manager(host)->availability(), 0.25);
+  const auto d = service.request(req(chair, 0.1));
   EXPECT_EQ(d.outcome, Outcome::kGranted);  // avail == alpha: full regime
 }
 
-TEST_F(ArbiterFixture, JustBelowAlphaIsDegradedEvenWhenItFits) {
-  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.8)).outcome, Outcome::kGranted);
-  const auto d = arbiter.arbitrate(req(chair, 0.1));
+TEST_F(ServiceFixture, JustBelowAlphaIsDegradedEvenWhenItFits) {
+  ASSERT_EQ(service.request(req(low1, 0.8)).outcome, Outcome::kGranted);
+  const auto d = service.request(req(chair, 0.1));
   EXPECT_EQ(d.outcome, Outcome::kGrantedDegraded);
   EXPECT_TRUE(d.suspended.empty());  // fit without Media-Suspend
 }
 
-TEST_F(ArbiterFixture, DegradedRegimeSuspendsLowestPriorityFirst) {
+TEST_F(ServiceFixture, DegradedRegimeSuspendsLowestPriorityFirst) {
   // Three low-priority feeds of 0.25 each (the third lands exactly on
   // alpha, still full service), then a mid feed drops availability to 0.15
   // — degraded. The chair asks for 0.50: two suspensions are needed, and
   // they must be the two *lowest-priority, oldest* holders — never mid.
-  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.25)).outcome, Outcome::kGranted);
-  ASSERT_EQ(arbiter.arbitrate(req(low2, 0.25)).outcome, Outcome::kGranted);
-  ASSERT_EQ(arbiter.arbitrate(req(low3, 0.25)).outcome, Outcome::kGranted);
-  ASSERT_EQ(arbiter.arbitrate(req(mid, 0.10)).outcome, Outcome::kGranted);
-  ASSERT_NEAR(arbiter.host_manager(host)->availability(), 0.15, 1e-12);
+  ASSERT_EQ(service.request(req(low1, 0.25)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low2, 0.25)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low3, 0.25)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(mid, 0.10)).outcome, Outcome::kGranted);
+  ASSERT_NEAR(service.host_manager(host)->availability(), 0.15, 1e-12);
 
-  const auto d = arbiter.arbitrate(req(chair, 0.50));
+  const auto d = service.request(req(chair, 0.50));
   EXPECT_EQ(d.outcome, Outcome::kGrantedDegraded);
   EXPECT_EQ(d.suspended, (std::vector<Holder>{{low1, group}, {low2, group}}));
-  EXPECT_EQ(arbiter.suspended_grants(), 2u);
+  EXPECT_EQ(service.suspended_grants(), 2u);
 }
 
-TEST_F(ArbiterFixture, AvailabilityExactlyBetaIsDegradedNotAbort) {
-  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.9375)).outcome, Outcome::kGranted);
-  ASSERT_EQ(arbiter.host_manager(host)->availability(), 0.0625);  // == beta
-  const auto d = arbiter.arbitrate(req(chair, 0.3));
+TEST_F(ServiceFixture, AvailabilityExactlyBetaIsDegradedNotAbort) {
+  ASSERT_EQ(service.request(req(low1, 0.9375)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.host_manager(host)->availability(), 0.0625);  // == beta
+  const auto d = service.request(req(chair, 0.3));
   EXPECT_EQ(d.outcome, Outcome::kGrantedDegraded);
   EXPECT_EQ(d.suspended, (std::vector<Holder>{{low1, group}}));
 }
 
-TEST_F(ArbiterFixture, BelowBetaAbortsRegardlessOfPriority) {
-  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.96)).outcome, Outcome::kGranted);
-  const auto d = arbiter.arbitrate(req(chair, 0.01));
+TEST_F(ServiceFixture, BelowBetaAbortsRegardlessOfPriority) {
+  ASSERT_EQ(service.request(req(low1, 0.96)).outcome, Outcome::kGranted);
+  const auto d = service.request(req(chair, 0.01));
   EXPECT_EQ(d.outcome, Outcome::kAborted);
   EXPECT_TRUE(d.suspended.empty());
   EXPECT_NE(d.reason.find("abort-arbitrate"), std::string::npos);
 }
 
-TEST_F(ArbiterFixture, EqualPriorityIsNeverSuspended) {
-  ASSERT_EQ(arbiter.arbitrate(req(mid, 0.5)).outcome, Outcome::kGranted);
-  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.35)).outcome, Outcome::kGranted);
+TEST_F(ServiceFixture, EqualPriorityIsNeverSuspended) {
+  ASSERT_EQ(service.request(req(mid, 0.5)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low1, 0.35)).outcome, Outcome::kGranted);
   // mid asks for more than free (0.15) — only *strictly lower* priority
   // (low1) may be suspended; that frees 0.35, enough for 0.4.
-  const auto d1 = arbiter.arbitrate(req(mid, 0.4));
+  const auto d1 = service.request(req(mid, 0.4));
   EXPECT_EQ(d1.outcome, Outcome::kGrantedDegraded);
   EXPECT_EQ(d1.suspended, (std::vector<Holder>{{low1, group}}));
   // Now only equal-priority holders remain: a further oversized request is
   // denied, and the tentative state rolls back (nothing newly suspended).
-  const auto d2 = arbiter.arbitrate(req(mid, 0.5));
+  const auto d2 = service.request(req(mid, 0.5));
   EXPECT_EQ(d2.outcome, Outcome::kDenied);
-  EXPECT_EQ(arbiter.suspended_grants(), 1u);
+  EXPECT_EQ(service.suspended_grants(), 1u);
 }
 
-TEST_F(ArbiterFixture, ReleaseTriggersMediaResume) {
-  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.5)).outcome, Outcome::kGranted);
-  ASSERT_EQ(arbiter.arbitrate(req(mid, 0.4)).outcome, Outcome::kGranted);
-  const auto d = arbiter.arbitrate(req(chair, 0.5));
+TEST_F(ServiceFixture, ReleaseTriggersMediaResume) {
+  ASSERT_EQ(service.request(req(low1, 0.5)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(mid, 0.4)).outcome, Outcome::kGranted);
+  const auto d = service.request(req(chair, 0.5));
   ASSERT_EQ(d.outcome, Outcome::kGrantedDegraded);
   ASSERT_EQ(d.suspended, (std::vector<Holder>{{low1, group}}));
-  ASSERT_EQ(arbiter.active_grants(), 2u);
+  ASSERT_EQ(service.active_grants(), 2u);
 
   // The chair leaves: low1's suspended feed fits again and resumes.
-  const auto rel = arbiter.release(chair, group);
+  const auto rel = service.release(chair, group);
   EXPECT_TRUE(rel.released);
   EXPECT_EQ(rel.resumed, (std::vector<Holder>{{low1, group}}));  // Media-Resume reported
-  EXPECT_EQ(arbiter.suspended_grants(), 0u);
-  EXPECT_EQ(arbiter.active_grants(), 2u);
-  EXPECT_NEAR(arbiter.host_manager(host)->availability(), 0.1, 1e-12);
+  EXPECT_EQ(service.suspended_grants(), 0u);
+  EXPECT_EQ(service.active_grants(), 2u);
+  EXPECT_NEAR(service.host_manager(host)->availability(), 0.1, 1e-12);
 }
 
-TEST_F(ArbiterFixture, ReleaseIsIdempotentAndScopedToTheGroup) {
-  EXPECT_FALSE(arbiter.release(low1, group).released);  // nothing held
-  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.2)).outcome, Outcome::kGranted);
-  EXPECT_TRUE(arbiter.release(low1, group).released);
-  EXPECT_FALSE(arbiter.release(low1, group).released);
-  EXPECT_EQ(arbiter.active_grants(), 0u);
-  EXPECT_DOUBLE_EQ(arbiter.host_manager(host)->availability(), 1.0);
+TEST_F(ServiceFixture, ReleaseIsIdempotentAndScopedToTheGroup) {
+  EXPECT_FALSE(service.release(low1, group).released);  // nothing held
+  ASSERT_EQ(service.request(req(low1, 0.2)).outcome, Outcome::kGranted);
+  EXPECT_TRUE(service.release(low1, group).released);
+  EXPECT_FALSE(service.release(low1, group).released);
+  EXPECT_EQ(service.active_grants(), 0u);
+  EXPECT_DOUBLE_EQ(service.host_manager(host)->availability(), 1.0);
 }
 
-TEST_F(ArbiterFixture, MembershipAndModeRules) {
+TEST_F(ServiceFixture, MembershipAndModeRules) {
   const auto outsider = registry.add_member("outsider", 5, host);
-  EXPECT_EQ(arbiter.arbitrate(req(outsider, 0.1)).outcome, Outcome::kDenied);
+  EXPECT_EQ(service.request(req(outsider, 0.1)).outcome, Outcome::kDenied);
 
   const auto chaired =
       registry.create_group("panel", FcmMode::kChaired, chair);
   registry.join(mid, chaired);
   FloorRequest r = req(mid, 0.1);
   r.group = chaired;
-  EXPECT_EQ(arbiter.arbitrate(r).outcome, Outcome::kDenied);
+  EXPECT_EQ(service.request(r).outcome, Outcome::kDenied);
   r.member = chair;
-  EXPECT_EQ(arbiter.arbitrate(r).outcome, Outcome::kGranted);
+  EXPECT_EQ(service.request(r).outcome, Outcome::kGranted);
 
   FloorRequest bad_host = req(chair, 0.1);
   bad_host.host = HostId{99};
-  EXPECT_EQ(arbiter.arbitrate(bad_host).outcome, Outcome::kDenied);
+  EXPECT_EQ(service.request(bad_host).outcome, Outcome::kDenied);
 
   // Request-side chaired discipline binds too, even in a free-access group.
   FloorRequest strict = req(mid, 0.1);
   strict.mode = FcmMode::kChaired;
-  EXPECT_EQ(arbiter.arbitrate(strict).outcome, Outcome::kDenied);
+  EXPECT_EQ(service.request(strict).outcome, Outcome::kDenied);
   strict.member = chair;
-  EXPECT_EQ(arbiter.arbitrate(strict).outcome, Outcome::kGranted);
+  EXPECT_EQ(service.request(strict).outcome, Outcome::kGranted);
 }
 
-TEST_F(ArbiterFixture, ReRegisteringAHostVoidsItsGrants) {
-  ASSERT_EQ(arbiter.arbitrate(req(low1, 0.5)).outcome, Outcome::kGranted);
-  ASSERT_EQ(arbiter.active_grants(), 1u);
-  arbiter.add_host(host, Resource{2.0, 2.0, 2.0});  // replacement wipes state
-  EXPECT_EQ(arbiter.active_grants(), 0u);
-  EXPECT_DOUBLE_EQ(arbiter.host_manager(host)->availability(), 1.0);
-  EXPECT_FALSE(arbiter.release(low1, group).released);  // old grant is gone, no crash
-  EXPECT_EQ(arbiter.arbitrate(req(low1, 0.5)).outcome, Outcome::kGranted);
+TEST_F(ServiceFixture, ReRegisteringAHostVoidsItsGrants) {
+  ASSERT_EQ(service.request(req(low1, 0.5)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.active_grants(), 1u);
+  service.add_host(host, Resource{2.0, 2.0, 2.0});  // replacement wipes state
+  EXPECT_EQ(service.active_grants(), 0u);
+  EXPECT_DOUBLE_EQ(service.host_manager(host)->availability(), 1.0);
+  EXPECT_FALSE(service.release(low1, group).released);  // old grant is gone, no crash
+  EXPECT_EQ(service.request(req(low1, 0.5)).outcome, Outcome::kGranted);
 }
 
-TEST_F(ArbiterFixture, ReleasedGrantSlotsAreRecycled) {
-  // Request/release churn must not grow the grants vector monotonically:
-  // released slots return to a free list and get reused.
+TEST_F(ServiceFixture, ReleasedGrantSlotsAreRecycled) {
+  // Request/release churn must not grow the grant-slot vector
+  // monotonically: released slots return to a free list and get reused.
   for (int i = 0; i < 1000; ++i) {
-    ASSERT_EQ(arbiter.arbitrate(req(low1, 0.3)).outcome, Outcome::kGranted);
-    ASSERT_EQ(arbiter.arbitrate(req(mid, 0.3)).outcome, Outcome::kGranted);
-    ASSERT_TRUE(arbiter.release(low1, group).released);
-    ASSERT_TRUE(arbiter.release(mid, group).released);
+    ASSERT_EQ(service.request(req(low1, 0.3)).outcome, Outcome::kGranted);
+    ASSERT_EQ(service.request(req(mid, 0.3)).outcome, Outcome::kGranted);
+    ASSERT_TRUE(service.release(low1, group).released);
+    ASSERT_TRUE(service.release(mid, group).released);
   }
-  EXPECT_EQ(arbiter.active_grants(), 0u);
-  EXPECT_LE(arbiter.grant_slots(), 2u);  // peak concurrency, not churn volume
+  EXPECT_EQ(service.active_grants(), 0u);
+  EXPECT_LE(service.grant_slots(), 2u);  // peak concurrency, not churn volume
   // Recycled slots still arbitrate correctly.
-  const auto d = arbiter.arbitrate(req(chair, 0.5));
+  const auto d = service.request(req(chair, 0.5));
   EXPECT_EQ(d.outcome, Outcome::kGranted);
+}
+
+// ------------------------------------------------------- queueing policy
+
+struct QueueingFixture : ServiceFixture {
+  QueueingFixture() { registry.set_policy(group, PolicyKind::kQueueing); }
+};
+
+TEST_F(QueueingFixture, RefusedRequestIsParkedNotDenied) {
+  ASSERT_EQ(service.request(req(mid, 0.7)).outcome, Outcome::kGranted);
+  // low1 outranks nobody mid holds; under three-regime this would be a
+  // denial — the queueing group parks it instead.
+  const auto d = service.request(req(low1, 0.7));
+  EXPECT_EQ(d.outcome, Outcome::kQueued);
+  EXPECT_NE(d.reason.find("queued"), std::string::npos);
+  EXPECT_EQ(service.queued_requests(), 1u);
+  EXPECT_EQ(service.queued_requests(group), 1u);
+  EXPECT_EQ(service.active_grants(), 1u);  // nothing reserved for the parked one
+}
+
+TEST_F(QueueingFixture, ReleasePromotesTheQueueInArrivalOrder) {
+  ASSERT_EQ(service.request(req(mid, 0.7)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low1, 0.6)).outcome, Outcome::kQueued);
+  ASSERT_EQ(service.request(req(low2, 0.6)).outcome, Outcome::kQueued);
+  ASSERT_EQ(service.queued_requests(group), 2u);
+
+  // mid releases 0.7: low1 (first in) gets its 0.6; low2's 0.6 no longer
+  // fits (0.4 free) and stays parked.
+  const auto rel = service.release(mid, group);
+  ASSERT_TRUE(rel.released);
+  ASSERT_EQ(rel.promoted.size(), 1u);
+  EXPECT_EQ(rel.promoted[0].holder, (Holder{low1, group}));
+  EXPECT_EQ(rel.promoted[0].decision.outcome, Outcome::kGranted);
+  EXPECT_EQ(service.queued_requests(group), 1u);
+  EXPECT_EQ(service.active_grants(), 1u);
+
+  // low1 releases in turn: low2 is promoted next.
+  const auto rel2 = service.release(low1, group);
+  ASSERT_EQ(rel2.promoted.size(), 1u);
+  EXPECT_EQ(rel2.promoted[0].holder, (Holder{low2, group}));
+  EXPECT_EQ(service.queued_requests(group), 0u);
+}
+
+TEST_F(QueueingFixture, SmallerRequestBehindABlockedHeadIsNotStarved) {
+  ASSERT_EQ(service.request(req(mid, 0.6)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(chair, 0.3)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low1, 0.9)).outcome, Outcome::kQueued);
+  ASSERT_EQ(service.request(req(low2, 0.3)).outcome, Outcome::kQueued);
+
+  // 0.6 frees up: the 0.9 head still does not fit (the chair's 0.3 stays,
+  // and the chair outranks low1), but the 0.3 behind it does — the
+  // promotion walk skips the blocked head instead of stalling.
+  const auto rel = service.release(mid, group);
+  ASSERT_EQ(rel.promoted.size(), 1u);
+  EXPECT_EQ(rel.promoted[0].holder, (Holder{low2, group}));
+  EXPECT_EQ(service.queued_requests(group), 1u);  // the 0.9 waits on
+}
+
+TEST_F(QueueingFixture, PromotionMayItselfMediaSuspend) {
+  // chair (priority 3) parks a big request behind a starved host (below
+  // beta even its suspension power cannot help: Abort-Arbitrate is parked
+  // too); when capacity frees, the promotion runs the full three-regime
+  // rule and Media-Suspends the remaining junior holder to fit.
+  ASSERT_EQ(service.request(req(low1, 0.47)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low2, 0.47)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(chair, 0.9)).outcome, Outcome::kQueued);
+
+  const auto rel = service.release(low1, group);
+  ASSERT_EQ(rel.promoted.size(), 1u);
+  EXPECT_EQ(rel.promoted[0].holder, (Holder{chair, group}));
+  EXPECT_EQ(rel.promoted[0].decision.outcome, Outcome::kGrantedDegraded);
+  EXPECT_EQ(rel.promoted[0].decision.suspended,
+            (std::vector<Holder>{{low2, group}}));
+  EXPECT_EQ(service.suspended_grants(), 1u);
+}
+
+TEST_F(QueueingFixture, ReleasingMemberAbandonsItsParkedRequests) {
+  ASSERT_EQ(service.request(req(mid, 0.7)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low1, 0.6)).outcome, Outcome::kQueued);
+  // low1 leaves (its release covers parked state too): the entry is
+  // dequeued without a grant and a later release promotes nobody.
+  const auto rel = service.release(low1, group);
+  EXPECT_FALSE(rel.released);  // it held no actual grant
+  EXPECT_EQ(rel.dequeued, (std::vector<Holder>{{low1, group}}));
+  EXPECT_EQ(service.queued_requests(group), 0u);
+  const auto rel2 = service.release(mid, group);
+  EXPECT_TRUE(rel2.released);
+  EXPECT_TRUE(rel2.promoted.empty());
+}
+
+TEST_F(QueueingFixture, ReRequestWhileParkedKeepsQueuePosition) {
+  ASSERT_EQ(service.request(req(mid, 0.7)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low1, 0.6)).outcome, Outcome::kQueued);
+  ASSERT_EQ(service.request(req(low2, 0.35)).outcome, Outcome::kQueued);
+  // low1 asks again (smaller): still queued, still ahead of low2.
+  ASSERT_EQ(service.request(req(low1, 0.5)).outcome, Outcome::kQueued);
+  EXPECT_EQ(service.queued_requests(group), 2u);
+
+  const auto rel = service.release(mid, group);
+  ASSERT_EQ(rel.promoted.size(), 2u);
+  EXPECT_EQ(rel.promoted[0].holder, (Holder{low1, group}));
+  EXPECT_EQ(rel.promoted[1].holder, (Holder{low2, group}));
+}
+
+TEST_F(QueueingFixture, ChairedQueueingGroupStillGatesOnTheChair) {
+  // Chair gating runs before the queue: a non-chair request in a chaired
+  // queueing group is refused outright, never parked.
+  const auto panel = registry.create_group("panel", FcmMode::kChaired, chair,
+                                           PolicyKind::kQueueing);
+  registry.join(low1, panel);
+  FloorRequest r = req(low1, 0.1);
+  r.group = panel;
+  EXPECT_EQ(service.request(r).outcome, Outcome::kDenied);
+  EXPECT_EQ(service.queued_requests(panel), 0u);
+  r.member = chair;
+  EXPECT_EQ(service.request(r).outcome, Outcome::kGranted);
 }
 
 TEST(GroupRegistry, JoinLeaveChairRules) {
@@ -203,6 +319,19 @@ TEST(GroupRegistry, JoinLeaveChairRules) {
   // A group cannot be chaired by an unregistered member.
   EXPECT_THROW(registry.create_group("bad", FcmMode::kFreeAccess, MemberId{}),
                std::invalid_argument);
+}
+
+TEST(GroupRegistry, PolicySelectionLivesOnTheGroup) {
+  GroupRegistry registry;
+  const auto chair = registry.add_member("chair", 3, HostId{1});
+  const auto g1 = registry.create_group("g1", FcmMode::kFreeAccess, chair);
+  EXPECT_EQ(registry.group(g1).policy, PolicyKind::kThreeRegime);  // default
+  const auto g2 = registry.create_group("g2", FcmMode::kFreeAccess, chair,
+                                        PolicyKind::kQueueing);
+  EXPECT_EQ(registry.group(g2).policy, PolicyKind::kQueueing);
+  EXPECT_TRUE(registry.set_policy(g1, PolicyKind::kQueueing));
+  EXPECT_EQ(registry.group(g1).policy, PolicyKind::kQueueing);
+  EXPECT_FALSE(registry.set_policy(GroupId{99}, PolicyKind::kQueueing));
 }
 
 }  // namespace

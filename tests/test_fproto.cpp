@@ -155,7 +155,7 @@ struct ProtoWorld {
   net::Demux server_demux;
   clk::TrueClock clock;
   GroupRegistry registry;
-  FloorArbiter arbiter;
+  FloorService service;
   HostId host{1};
   MemberId chair;
   GroupId group;
@@ -166,37 +166,45 @@ struct ProtoWorld {
     std::unique_ptr<net::Demux> demux;
     std::unique_ptr<fproto::FloorAgent> agent;
     // Latest observed callbacks.
-    int granted = 0, denied = 0, suspended = 0, resumed = 0, released = 0;
+    int granted = 0, denied = 0, queued = 0, suspended = 0, resumed = 0,
+        released = 0;
     int joined = 0, failed = 0;
   };
   std::vector<std::unique_ptr<Station>> stations;
 
   explicit ProtoWorld(std::uint64_t seed, double loss,
-                      Resource capacity = Resource{1.0, 1.0, 1.0})
+                      Resource capacity = Resource{1.0, 1.0, 1.0},
+                      FcmMode mode = FcmMode::kFreeAccess,
+                      PolicyKind policy = PolicyKind::kThreeRegime)
       : network(sim, seed,
                 net::LinkQuality{Duration::millis(5), Duration::millis(2), loss}),
         server_node(network.add_node("server")),
         server_demux(network, server_node),
         clock(sim),
-        arbiter(registry, clock, Thresholds{0.25, 0.05}),
-        server(server_demux, registry, arbiter, {Duration::millis(120), 200}) {
-    arbiter.add_host(host, capacity);
+        service(registry, clock, Thresholds{0.25, 0.05}),
+        server(server_demux, registry, service, {Duration::millis(120), 200}) {
+    service.add_host(host, capacity);
     chair = registry.add_member("chair", 100, host);
-    group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+    group = registry.create_group("g", mode, chair, policy);
   }
 
+  /// A station for a fresh member — or, when `as` names an existing member
+  /// (e.g. the chair), a station speaking for that member.
   Station& add_station(const std::string& name, int priority,
-                       fproto::AgentConfig config = {Duration::millis(120), 200}) {
+                       fproto::AgentConfig config = {Duration::millis(120), 200},
+                       MemberId as = MemberId::invalid()) {
     auto station = std::make_unique<Station>();
     Station& s = *station;
     stations.push_back(std::move(station));
-    const MemberId member = registry.add_member(name, priority, host);
+    const MemberId member =
+        as.valid() ? as : registry.add_member(name, priority, host);
     s.node = network.add_node(name);
     s.demux = std::make_unique<net::Demux>(network, s.node);
     fproto::AgentEvents events;
     events.on_joined = [&s] { ++s.joined; };
     events.on_granted = [&s](std::uint64_t, bool) { ++s.granted; };
     events.on_denied = [&s](std::uint64_t, Outcome) { ++s.denied; };
+    events.on_queued = [&s](std::uint64_t) { ++s.queued; };
     events.on_suspended = [&s](std::uint64_t) { ++s.suspended; };
     events.on_resumed = [&s](std::uint64_t) { ++s.resumed; };
     events.on_released = [&s](std::uint64_t) { ++s.released; };
@@ -225,13 +233,13 @@ TEST(FloorAgent, JoinRequestReleaseOnCleanLink) {
   w.run_for(1.0);
   EXPECT_EQ(s.agent->state(), AgentState::kGranted);
   EXPECT_EQ(s.granted, 1);
-  EXPECT_EQ(w.arbiter.active_grants(), 1u);
+  EXPECT_EQ(w.service.active_grants(), 1u);
 
   EXPECT_TRUE(s.agent->release_floor());
   w.run_for(1.0);
   EXPECT_EQ(s.agent->state(), AgentState::kJoined);
   EXPECT_EQ(s.released, 1);
-  EXPECT_EQ(w.arbiter.active_grants(), 0u);
+  EXPECT_EQ(w.service.active_grants(), 0u);
   // Clean link: nothing retransmitted, nothing duplicated.
   EXPECT_EQ(s.agent->retransmits(), 0u);
   EXPECT_EQ(w.server.duplicate_requests(), 0u);
@@ -254,14 +262,14 @@ TEST(FloorAgent, RequestRetransmitsUntilGrantedUnderLoss) {
   EXPECT_EQ(s.granted, 1);  // exactly one grant callback
   EXPECT_GT(s.agent->retransmits(), 0u);
   EXPECT_EQ(w.server.requests_arbitrated(), 1u);  // dedup held
-  EXPECT_EQ(w.arbiter.active_grants(), 1u);
+  EXPECT_EQ(w.service.active_grants(), 1u);
 
   // And the release leg converges the same way.
   ASSERT_TRUE(s.agent->release_floor());
   w.run_for(20.0);
   EXPECT_EQ(s.agent->state(), AgentState::kJoined);
   EXPECT_EQ(s.released, 1);
-  EXPECT_EQ(w.arbiter.active_grants(), 0u);
+  EXPECT_EQ(w.service.active_grants(), 0u);
 }
 
 TEST(FloorAgent, DuplicateGrantsAreSuppressed) {
@@ -306,7 +314,7 @@ TEST(FloorServer, RetransmittedRequestIsArbitratedOnce) {
   w.run_for(1.0);
   EXPECT_EQ(w.server.requests_arbitrated(), 1u);
   EXPECT_EQ(w.server.duplicate_requests(), 1u);
-  EXPECT_EQ(w.arbiter.active_grants(), 1u);  // not double-reserved
+  EXPECT_EQ(w.service.active_grants(), 1u);  // not double-reserved
   // The replayed reply reached the agent as a suppressed duplicate.
   EXPECT_EQ(s.agent->duplicates_suppressed(), 1u);
 }
@@ -442,13 +450,279 @@ TEST(FloorAgent, LeaveReleasesHeldFloorServerSide) {
   s.agent->request_floor(media::QosRequirement{0.5, 0.5, 0.5});
   w.run_for(1.0);
   ASSERT_EQ(s.agent->state(), AgentState::kGranted);
-  ASSERT_EQ(w.arbiter.active_grants(), 1u);
+  ASSERT_EQ(w.service.active_grants(), 1u);
 
   ASSERT_TRUE(s.agent->leave());
   w.run_for(1.0);
   EXPECT_EQ(s.agent->state(), AgentState::kIdle);
-  EXPECT_EQ(w.arbiter.active_grants(), 0u);  // server released on leave
+  EXPECT_EQ(w.service.active_grants(), 0u);  // server released on leave
   EXPECT_FALSE(w.registry.in_group(s.agent->member(), w.group));
+}
+
+// ------------------------------------------------- member churn on the wire
+
+TEST(FloorServer, LeaveWhileHoldingResumesSuspendedHolders) {
+  // Member churn: "high" Media-Suspends "low", then *leaves* mid-holding
+  // instead of releasing. The server must give high's floor back and
+  // Media-Resume low — a leaver cannot strand suspended holders.
+  ProtoWorld w(53, 0.0);
+  auto& low = w.add_station("low", 1);
+  auto& high = w.add_station("high", 5);
+  ASSERT_TRUE(low.agent->join());
+  ASSERT_TRUE(high.agent->join());
+  w.run_for(1.0);
+
+  low.agent->request_floor(media::QosRequirement{0.6, 0.6, 0.6});
+  w.run_for(1.0);
+  ASSERT_EQ(low.agent->state(), AgentState::kGranted);
+  high.agent->request_floor(media::QosRequirement{0.6, 0.6, 0.6});
+  w.run_for(1.0);
+  ASSERT_EQ(high.agent->state(), AgentState::kGranted);
+  ASSERT_EQ(low.agent->state(), AgentState::kSuspended);
+
+  ASSERT_TRUE(high.agent->leave());
+  w.run_for(2.0);
+  EXPECT_EQ(high.agent->state(), AgentState::kIdle);
+  EXPECT_FALSE(w.registry.in_group(high.agent->member(), w.group));
+  EXPECT_EQ(low.agent->state(), AgentState::kGranted);  // Media-Resumed
+  EXPECT_EQ(low.resumed, 1);
+  EXPECT_EQ(w.service.active_grants(), 1u);
+  EXPECT_EQ(w.service.suspended_grants(), 0u);
+  EXPECT_EQ(w.server.notifies_pending(), 0u);
+}
+
+// ----------------------------------------------- chaired groups on the wire
+
+TEST(FloorServer, ChairedGroupOverTheWireReservesTheFloorForTheChair) {
+  // The fp.request mode field, end to end: in a chaired group only the
+  // chair's station gets a Grant; every other member is denied.
+  ProtoWorld w(59, 0.0, Resource{1.0, 1.0, 1.0}, FcmMode::kChaired);
+  auto& member = w.add_station("member", 5);
+  auto& chair_station =
+      w.add_station("chair-station", 0, {Duration::millis(120), 200}, w.chair);
+  ASSERT_TRUE(member.agent->join());
+  ASSERT_TRUE(chair_station.agent->join());
+  w.run_for(1.0);
+
+  member.agent->request_floor(media::QosRequirement{0.1, 0.1, 0.1});
+  w.run_for(1.0);
+  EXPECT_EQ(member.agent->state(), AgentState::kJoined);  // bounced
+  EXPECT_EQ(member.denied, 1);
+  EXPECT_EQ(w.service.active_grants(), 0u);
+
+  chair_station.agent->request_floor(media::QosRequirement{0.1, 0.1, 0.1});
+  w.run_for(1.0);
+  EXPECT_EQ(chair_station.agent->state(), AgentState::kGranted);
+  EXPECT_EQ(chair_station.granted, 1);
+  EXPECT_EQ(w.service.active_grants(), 1u);
+}
+
+TEST(FloorAgent, RequestSideChairedModeBindsInAFreeAccessGroup) {
+  // A station may *ask* for chaired arbitration: the carried mode field
+  // must deny a non-chair requester even though the group is free-access.
+  ProtoWorld w(61, 0.0);
+  auto& s = w.add_station("a", 9);
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(1.0);
+  s.agent->request_floor(media::QosRequirement{0.1, 0.1, 0.1},
+                         FcmMode::kChaired);
+  w.run_for(1.0);
+  EXPECT_EQ(s.agent->state(), AgentState::kJoined);
+  EXPECT_EQ(s.denied, 1);
+  EXPECT_EQ(w.service.active_grants(), 0u);
+}
+
+// --------------------------------------------- queueing groups on the wire
+
+TEST(FloorServer, QueuedRequestIsParkedThenGrantedOnRelease) {
+  ProtoWorld w(67, 0.0, Resource{1.0, 1.0, 1.0}, FcmMode::kFreeAccess,
+               PolicyKind::kQueueing);
+  auto& a = w.add_station("a", 1);
+  auto& b = w.add_station("b", 1);
+  ASSERT_TRUE(a.agent->join());
+  ASSERT_TRUE(b.agent->join());
+  w.run_for(1.0);
+
+  a.agent->request_floor(media::QosRequirement{0.7, 0.7, 0.7});
+  w.run_for(1.0);
+  ASSERT_EQ(a.agent->state(), AgentState::kGranted);
+
+  // b's equal-priority 0.7 cannot fit and cannot suspend: a three-regime
+  // group would deny it — the queueing group parks it instead.
+  b.agent->request_floor(media::QosRequirement{0.7, 0.7, 0.7});
+  w.run_for(1.0);
+  EXPECT_EQ(b.agent->state(), AgentState::kQueued);
+  EXPECT_EQ(b.queued, 1);
+  EXPECT_EQ(b.denied, 0);
+  EXPECT_EQ(w.server.queued_sent(), 1u);
+  EXPECT_EQ(w.service.queued_requests(), 1u);
+
+  // a releases: the parked request is promoted and the Grant reaches b.
+  ASSERT_TRUE(a.agent->release_floor());
+  w.run_for(2.0);
+  EXPECT_EQ(b.agent->state(), AgentState::kGranted);
+  EXPECT_EQ(b.granted, 1);
+  EXPECT_EQ(w.server.promotions_sent(), 1u);
+  EXPECT_EQ(w.service.queued_requests(), 0u);
+  // The whole exchange took exactly two arbitrations: no client-side retry
+  // storm while waiting.
+  EXPECT_EQ(w.server.requests_arbitrated(), 2u);
+
+  // And the promoted grant releases cleanly.
+  ASSERT_TRUE(b.agent->release_floor());
+  w.run_for(1.0);
+  EXPECT_EQ(b.agent->state(), AgentState::kJoined);
+  EXPECT_EQ(w.service.active_grants(), 0u);
+}
+
+TEST(FloorServer, PromotionGrantSurvivesLossViaPolling) {
+  // 35% loss each way: the queued reply, the polls and the promotion push
+  // all get dropped sometimes. The client's request retransmission polls
+  // the server's stored decision, so the promotion still converges, and
+  // dedup keeps it to one arbitration per request id.
+  ProtoWorld w(71, 0.35, Resource{1.0, 1.0, 1.0}, FcmMode::kFreeAccess,
+               PolicyKind::kQueueing);
+  auto& a = w.add_station("a", 1);
+  auto& b = w.add_station("b", 1);
+  ASSERT_TRUE(a.agent->join());
+  ASSERT_TRUE(b.agent->join());
+  w.run_for(10.0);
+  ASSERT_EQ(a.agent->state(), AgentState::kJoined);
+  ASSERT_EQ(b.agent->state(), AgentState::kJoined);
+
+  a.agent->request_floor(media::QosRequirement{0.7, 0.7, 0.7});
+  w.run_for(15.0);
+  ASSERT_EQ(a.agent->state(), AgentState::kGranted);
+  b.agent->request_floor(media::QosRequirement{0.7, 0.7, 0.7});
+  w.run_for(15.0);
+  ASSERT_EQ(b.agent->state(), AgentState::kQueued);
+  EXPECT_EQ(b.queued, 1);  // the callback fires once, polls are suppressed
+
+  ASSERT_TRUE(a.agent->release_floor());
+  w.run_for(20.0);
+  EXPECT_EQ(b.agent->state(), AgentState::kGranted);
+  EXPECT_EQ(b.granted, 1);
+  EXPECT_EQ(w.server.requests_arbitrated(), 2u);
+  EXPECT_EQ(w.service.active_grants(), 1u);  // exactly b's grant
+}
+
+TEST(FloorAgent, SuspendOvertakingAPromotionGrantSynthesizesIt) {
+  // The kPending overtake rule extends to kQueued: a Suspend for the
+  // agent's parked request implies it was promoted (granted) — the agent
+  // must surface on_granted then on_suspended, even though the promotion's
+  // Grant push never arrived.
+  ProtoWorld w(83, 0.0, Resource{1.0, 1.0, 1.0}, FcmMode::kFreeAccess,
+               PolicyKind::kQueueing);
+  auto& a = w.add_station("a", 1);
+  auto& b = w.add_station("b", 1);
+  ASSERT_TRUE(a.agent->join());
+  ASSERT_TRUE(b.agent->join());
+  w.run_for(1.0);
+  a.agent->request_floor(media::QosRequirement{0.7, 0.7, 0.7});
+  w.run_for(1.0);
+  ASSERT_EQ(a.agent->state(), AgentState::kGranted);
+  const auto id = b.agent->request_floor(media::QosRequirement{0.7, 0.7, 0.7});
+  w.run_for(1.0);
+  ASSERT_EQ(b.agent->state(), AgentState::kQueued);
+
+  // Inject the Suspend as if it overtook the promotion Grant on the wire.
+  w.network.send({w.server_node, b.node, wire_type(MsgKind::kSuspend),
+                  fproto::encode(fproto::SuspendMsg{7, id})});
+  w.run_for(1.0);
+  EXPECT_EQ(b.agent->state(), AgentState::kSuspended);
+  EXPECT_EQ(b.granted, 1);  // synthesized
+  EXPECT_EQ(b.suspended, 1);
+  // The late Grant push lands as a duplicate.
+  w.network.send({w.server_node, b.node, wire_type(MsgKind::kGrant),
+                  fproto::encode(fproto::GrantMsg{id, true, 0.3})});
+  w.run_for(1.0);
+  EXPECT_EQ(b.granted, 1);
+  EXPECT_EQ(b.agent->state(), AgentState::kSuspended);
+}
+
+TEST(FloorAgent, LongQueueWaitDoesNotExhaustTheRetryBudget) {
+  // The parked wait is open-ended but healthy: every poll gets a kQueued
+  // replay, and each replay refreshes the retry budget. With max_tries 5
+  // the agent would fail within ~0.5s if replays did not refresh it; the
+  // promotion after 4s must still find it waiting.
+  ProtoWorld w(89, 0.0, Resource{1.0, 1.0, 1.0}, FcmMode::kFreeAccess,
+               PolicyKind::kQueueing);
+  auto& a = w.add_station("a", 1);
+  auto& b = w.add_station("b", 1, fproto::AgentConfig{Duration::millis(100), 5});
+  ASSERT_TRUE(a.agent->join());
+  ASSERT_TRUE(b.agent->join());
+  w.run_for(1.0);
+  a.agent->request_floor(media::QosRequirement{0.7, 0.7, 0.7});
+  w.run_for(1.0);
+  ASSERT_EQ(a.agent->state(), AgentState::kGranted);
+  b.agent->request_floor(media::QosRequirement{0.7, 0.7, 0.7});
+  w.run_for(4.0);  // ~40 polls against a budget of 5
+  ASSERT_EQ(b.agent->state(), AgentState::kQueued);
+  ASSERT_EQ(b.failed, 0);
+
+  ASSERT_TRUE(a.agent->release_floor());
+  w.run_for(2.0);
+  EXPECT_EQ(b.agent->state(), AgentState::kGranted);
+  EXPECT_EQ(b.granted, 1);
+}
+
+// ------------------------------------------------- decided-record aging
+
+TEST(FloorServer, DecidedRecordsAgeOutAsTheMemberMovesOn) {
+  // ROADMAP scale item: request/release churn must not grow the decided-
+  // request memory. Each new request id from the same member proves it saw
+  // every earlier reply, so older records are evicted.
+  ProtoWorld w(73, 0.0);
+  auto& s = w.add_station("a", 1);
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(1.0);
+  for (int i = 0; i < 50; ++i) {
+    s.agent->request_floor(media::QosRequirement{0.3, 0.3, 0.3});
+    w.run_for(1.0);
+    ASSERT_EQ(s.agent->state(), AgentState::kGranted);
+    ASSERT_TRUE(s.agent->release_floor());
+    w.run_for(1.0);
+    ASSERT_EQ(s.agent->state(), AgentState::kJoined);
+    // At most the current request's record plus the one being superseded.
+    EXPECT_LE(w.server.decided_records(), 2u) << "iteration " << i;
+  }
+  EXPECT_EQ(w.server.requests_arbitrated(), 50u);
+}
+
+TEST(FloorServer, ResurrectedOldRequestIdIsRefusedWithoutArbitration) {
+  // After records age out, a stale retransmission of an *old* request id
+  // (delayed in the network for ages) must not be re-arbitrated — deciding
+  // it afresh could double-reserve the floor.
+  ProtoWorld w(79, 0.0);
+  auto& s = w.add_station("a", 1);
+  ASSERT_TRUE(s.agent->join());
+  w.run_for(1.0);
+
+  const auto id1 = s.agent->request_floor(media::QosRequirement{0.3, 0.3, 0.3});
+  w.run_for(1.0);
+  ASSERT_EQ(s.agent->state(), AgentState::kGranted);
+  ASSERT_TRUE(s.agent->release_floor());
+  w.run_for(1.0);
+  const auto id2 = s.agent->request_floor(media::QosRequirement{0.3, 0.3, 0.3});
+  w.run_for(1.0);
+  ASSERT_EQ(s.agent->state(), AgentState::kGranted);
+  ASSERT_NE(id1, id2);
+  ASSERT_EQ(w.server.requests_arbitrated(), 2u);
+
+  // Replay the long-evicted first request.
+  fproto::RequestMsg dup;
+  dup.request_id = id1;
+  dup.member = s.agent->member();
+  dup.group = w.group;
+  dup.host = w.host;
+  dup.qos = media::QosRequirement{0.3, 0.3, 0.3};
+  w.network.send({s.node, w.server_node, wire_type(MsgKind::kRequest),
+                  fproto::encode(dup)});
+  w.run_for(1.0);
+  EXPECT_EQ(w.server.requests_arbitrated(), 2u);  // NOT re-arbitrated
+  EXPECT_EQ(w.server.duplicate_requests(), 1u);
+  EXPECT_EQ(w.service.active_grants(), 1u);  // id2's grant only
+  EXPECT_EQ(s.agent->state(), AgentState::kGranted);  // the Deny replay is a dup
 }
 
 }  // namespace

@@ -108,6 +108,34 @@ TEST(Session, ContentionProducesSuspendResumeChurnUnderLoss) {
   EXPECT_EQ(stats.suspends, stats.resumes);  // no one left suspended
 }
 
+TEST(Session, QueueingGroupParksContendersInsteadOfDenying) {
+  // The same oversubscribed load as the contention test, but the session
+  // group runs the BFCP-style QueueingPolicy: a station whose request does
+  // not fit is parked server-side (fp.queued) and granted when an earlier
+  // playback releases the floor — no client-side retry budget is needed and
+  // nobody is refused.
+  session::SessionConfig config;
+  config.seed = 21;
+  config.stations = 6;
+  config.loss = 0.02;
+  config.policy = floorctl::PolicyKind::kQueueing;
+  config.qos = media::QosRequirement{0.4, 0.4, 0.4};
+  config.media_len = Duration::seconds(4);
+  config.max_request_attempts = 1;  // one request per station: the queue serves
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(120));
+
+  EXPECT_EQ(stats.stuck_agents, 0);
+  EXPECT_GT(stats.queued, 0);   // contention really pushed stations into the queue
+  EXPECT_EQ(stats.denied, 0);   // ...and nobody was bounced
+  EXPECT_EQ(stats.requests_issued, 6);
+  EXPECT_EQ(stats.granted, 6);  // every station eventually got the floor
+  EXPECT_EQ(stats.playbacks_finished, 6);
+  EXPECT_EQ(stats.released, stats.granted);
+  EXPECT_EQ(stats.suspends, stats.resumes);
+  EXPECT_EQ(stats.notifies_pending, 0u);
+}
+
 TEST(Session, SameSeedSameStory) {
   session::SessionConfig config;
   config.seed = 5;
