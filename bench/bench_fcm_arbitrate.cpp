@@ -19,6 +19,7 @@
 #include "bench_common.hpp"
 #include "clock/drift_clock.hpp"
 #include "floor/service.hpp"
+#include "floor/sharded_service.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -205,6 +206,75 @@ void degraded_sweep_scenario() {
   }
 }
 
+void sharded_sweep_scenario() {
+  // The ROADMAP scale item, measured: floor state sharded by host station
+  // behind a ShardedFloorService. Weak scaling — every shard carries the
+  // same population (256 members, 64 resident grants) and serves the same
+  // request load, so per-shard (≙ per-request) arbitration cost must stay
+  // flat as the host count grows; growth would mean shards share state.
+  dmps::bench::table_header(
+      "ALG-FCM: sharded arbitration, weak scaling (256 members + 64 "
+      "resident grants per host shard, 20k request+release pairs per shard)",
+      "hosts | members_total | requests_total | wall_ms | req_per_sec | "
+      "us_per_req");
+  for (const int hosts : {1, 2, 4, 8, 16}) {
+    sim::Simulator sim;
+    clk::TrueClock clock{sim};
+    GroupRegistry registry;
+    ShardedFloorService service{registry, clock, Thresholds{0.25, 0.05}};
+    const auto chair = registry.add_member("chair", 3, HostId{1});
+    const auto group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+
+    constexpr int kPerHost = 256;
+    constexpr int kResident = 64;  // grants held for the whole run
+    std::vector<std::vector<MemberId>> members(hosts);
+    for (int h = 0; h < hosts; ++h) {
+      const HostId host{static_cast<std::uint32_t>(h + 1)};
+      service.add_host(host, Resource{1e9, 1e9, 1e9});
+      for (int i = 0; i < kPerHost; ++i) {
+        const auto member = registry.add_member(
+            "m" + std::to_string(h) + "_" + std::to_string(i), 1 + (i % 3),
+            host);
+        (void)registry.join(member, group);
+        members[h].push_back(member);
+      }
+      for (int i = 0; i < kResident; ++i) {
+        FloorRequest r;
+        r.group = group;
+        r.member = members[h][i];
+        r.host = host;
+        r.qos = media::QosRequirement{0.001, 0.001, 0.001};
+        (void)service.request(r);
+      }
+    }
+
+    util::Rng rng(11);
+    const int per_shard = 20000;
+    const long total = static_cast<long>(per_shard) * hosts;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < per_shard; ++i) {
+      for (int h = 0; h < hosts; ++h) {
+        const HostId host{static_cast<std::uint32_t>(h + 1)};
+        const auto member =
+            members[h][kResident + rng.index(kPerHost - kResident)];
+        FloorRequest r;
+        r.group = group;
+        r.member = member;
+        r.host = host;
+        r.qos = media::QosRequirement{0.001, 0.001, 0.001};
+        (void)service.request(r);
+        service.release(member, group);
+      }
+    }
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    dmps::bench::row("%5d | %13d | %14ld | %7.1f | %11.0f | %10.3f", hosts,
+                     hosts * kPerHost, total, wall_ms,
+                     total / (wall_ms / 1000.0), 1000.0 * wall_ms / total);
+  }
+}
+
 void BM_ArbitrateGrantRelease(benchmark::State& state) {
   Cluster cluster(static_cast<int>(state.range(0)), 1e9);
   util::Rng rng(7);
@@ -242,5 +312,6 @@ int main(int argc, char** argv) {
   regime_scenario();
   throughput_scenario();
   degraded_sweep_scenario();
+  sharded_sweep_scenario();
   return dmps::bench::run_micro(argc, argv, "bench_fcm_arbitrate");
 }

@@ -13,8 +13,15 @@
 // Scenario 2: protocol overhead vs loss at fixed fleet size — messages per
 // completed playback and the share of traffic that is retransmission.
 //
+// Scenario 3: hosts x stations federation — floor state sharded by host
+// behind a ShardedFloorService with one FloorServer endpoint per shard,
+// stations homed round-robin, queueing discipline, hundreds of stations.
+// Liveness is enforced the same way: zero stuck agents (agents parked in
+// kQueued at horizon end are waiting, not stuck — they count separately).
+//
 // Micro: codec round-trip cost and a full small session per iteration.
 
+#include <chrono>
 #include <cstdlib>
 
 #include "bench_common.hpp"
@@ -109,6 +116,63 @@ void overhead_scenario() {
   }
 }
 
+void federation_scenario() {
+  // The millions-of-users direction, exercised end to end: every host
+  // shard serves stations/hosts feeds of 0.22 against capacity 1.0 (4
+  // concurrent per host), the queueing policy drains each shard's waves
+  // in arrival order, and every playback must finish inside the horizon.
+  dmps::bench::table_header(
+      "SESSION: hosts x stations federation (sharded floor state, one "
+      "endpoint per host, queueing policy, 1% loss)",
+      "hosts | stations | requests | granted | queued | suspends | finished "
+      "| waiting | stuck | fp_msgs | msgs | wall_ms");
+  struct Case {
+    int hosts;
+    int stations;
+  };
+  for (const Case c : {Case{1, 48}, Case{4, 200}, Case{8, 200}, Case{16, 240}}) {
+    session::SessionConfig config;
+    config.seed = 4000 + c.hosts;
+    config.stations = c.stations;
+    config.hosts = c.hosts;
+    config.loss = 0.01;
+    config.policy = floorctl::PolicyKind::kQueueing;
+    config.qos = media::QosRequirement{0.22, 0.22, 0.22};
+    config.media_len = Duration::seconds(4);
+    config.request_stagger = Duration::millis(40);
+    config.max_request_attempts = 1;  // the queue serves, no retry budget
+    const auto t0 = std::chrono::steady_clock::now();
+    session::Presentation presentation(config);
+    const auto stats = presentation.run(Duration::seconds(150));
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    dmps::bench::row(
+        "%5d | %8d | %8d | %7d | %6d | %8d | %8d | %7d | %5d | %7llu | %8llu "
+        "| %7.1f",
+        c.hosts, c.stations, stats.requests_issued, stats.granted, stats.queued,
+        stats.suspends, stats.playbacks_finished, stats.queued_waiting,
+        stats.stuck_agents,
+        static_cast<unsigned long long>(stats.floor_messages),
+        static_cast<unsigned long long>(stats.messages_sent), wall_ms);
+    // The federation liveness contract: nobody stuck, every request
+    // terminated (or is still legitimately parked), every grant released
+    // and played out.
+    if (stats.stuck_agents != 0 ||
+        stats.granted + stats.denied + stats.queued_waiting !=
+            stats.requests_issued ||
+        stats.released != stats.granted ||
+        stats.playbacks_finished != stats.granted ||
+        stats.notifies_pending != 0) {
+      std::fprintf(stderr,
+                   "SESSION federation invariant violated at hosts=%d "
+                   "stations=%d\n",
+                   c.hosts, c.stations);
+      std::abort();
+    }
+  }
+}
+
 void BM_CodecRequestRoundTrip(benchmark::State& state) {
   fproto::RequestMsg request;
   request.request_id = (9ull << 32) | 1234;
@@ -144,5 +208,6 @@ BENCHMARK(BM_SessionEndToEnd)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   sweep_scenario();
   overhead_scenario();
+  federation_scenario();
   return dmps::bench::run_micro(argc, argv, "bench_session_multiclient");
 }

@@ -108,8 +108,8 @@ class GrantStore {
 };
 
 /// The seam between GrantStore bookkeeping and ArbitrationPolicy logic: a
-/// borrowed handle onto one host, valid for the duration of one decide() or
-/// on_release() call.
+/// borrowed handle onto one host, valid for the duration of one decide()
+/// call or one capacity-change sweep pass.
 class GrantStore::HostView {
  public:
   HostId host() const { return host_; }

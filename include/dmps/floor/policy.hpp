@@ -2,8 +2,8 @@
 // Pluggable arbitration disciplines over a GrantStore.
 //
 // An ArbitrationPolicy is the exchangeable half of the floor-control core:
-// it decides requests and reacts to releases, touching grants only through
-// a GrantStore::HostView. Three disciplines ship:
+// it decides requests, touching grants only through a GrantStore::HostView.
+// Three disciplines ship:
 //
 //   ThreeRegimePolicy — the paper's §3 FCM-Arbitrate rule, verbatim:
 //                       full / degraded (Media-Suspend) / Abort-Arbitrate
@@ -14,14 +14,26 @@
 //   QueueingPolicy    — BFCP-style moderation: requests the three-regime
 //                       rule would refuse are parked in a per-group pending
 //                       queue (Outcome::kQueued) and granted in arrival
-//                       order when a release frees capacity.
+//                       order when capacity frees up. Arrival order is a
+//                       per-(group, host) contract: a newcomer whose
+//                       request would fit still parks behind earlier
+//                       requests queued for the same host in the same
+//                       group. Distinct groups are distinct floors (BFCP
+//                       queues are per-floor) — no ordering is promised
+//                       between them.
+//
+// Reacting to freed capacity (Media-Resume, queue promotion) is not a
+// policy method: FloorService drives it through its capacity-change sweep,
+// which calls QueueingPolicy::promote_host for every queueing group with
+// entries on the freed host. That keeps promotions host-scoped (the shard
+// seam) instead of scoped to whichever group happened to release.
 //
 // Policies are stateless across hosts except for QueueingPolicy's queues,
 // so one instance of each serves every group of a FloorService.
 
 #include <cstddef>
 #include <deque>
-#include <unordered_map>
+#include <map>
 
 #include "floor/grant_store.hpp"
 #include "floor/types.hpp"
@@ -44,14 +56,14 @@ class ArbitrationPolicy {
                           const RequestContext& ctx,
                           GrantStore::HostView& host) = 0;
 
-  /// React to `freed`'s release on `host`: Media-Resume suspended holders
-  /// and (discipline permitting) promote parked requests into `out`.
-  virtual void on_release(const Holder& freed, GrantStore::HostView& host,
-                          ReleaseResult& out) = 0;
-
   /// Drop any parked state the member has in the group (it released or
-  /// left); dropped requests are reported in `out.dequeued`.
-  virtual void cancel(MemberId member, GroupId group, ReleaseResult& out);
+  /// left); dropped requests are reported in `out.dequeued`, and every host
+  /// a dropped entry targeted is appended to `affected_hosts` (deduped) —
+  /// the caller must sweep those hosts, because an entry parked *behind*
+  /// the dropped one may fit right now, and no capacity change will ever
+  /// re-trigger a sweep there.
+  virtual void cancel(MemberId member, GroupId group, ReleaseResult& out,
+                      std::vector<HostId>& affected_hosts);
 };
 
 class ThreeRegimePolicy : public ArbitrationPolicy {
@@ -61,8 +73,6 @@ class ThreeRegimePolicy : public ArbitrationPolicy {
 
   Decision decide(const FloorRequest& request, const RequestContext& ctx,
                   GrantStore::HostView& host) override;
-  void on_release(const Holder& freed, GrantStore::HostView& host,
-                  ReleaseResult& out) override;
 
   const resource::Thresholds& thresholds() const { return thresholds_; }
 
@@ -76,12 +86,9 @@ class ChairedPolicy : public ArbitrationPolicy {
 
   Decision decide(const FloorRequest& request, const RequestContext& ctx,
                   GrantStore::HostView& host) override;
-  void on_release(const Holder& freed, GrantStore::HostView& host,
-                  ReleaseResult& out) override {
-    base_.on_release(freed, host, out);
-  }
-  void cancel(MemberId member, GroupId group, ReleaseResult& out) override {
-    base_.cancel(member, group, out);
+  void cancel(MemberId member, GroupId group, ReleaseResult& out,
+              std::vector<HostId>& affected_hosts) override {
+    base_.cancel(member, group, out, affected_hosts);
   }
 
  private:
@@ -95,9 +102,16 @@ class QueueingPolicy : public ArbitrationPolicy {
 
   Decision decide(const FloorRequest& request, const RequestContext& ctx,
                   GrantStore::HostView& host) override;
-  void on_release(const Holder& freed, GrantStore::HostView& host,
-                  ReleaseResult& out) override;
-  void cancel(MemberId member, GroupId group, ReleaseResult& out) override;
+  void cancel(MemberId member, GroupId group, ReleaseResult& out,
+              std::vector<HostId>& affected_hosts) override;
+
+  /// One promotion pass for `host`: walk every group's queue in arrival
+  /// order and grant each entry targeting this host that now fits (a
+  /// blocked head does not starve smaller entries behind it). Promotions
+  /// run the full three-regime rule, so they may themselves Media-Suspend;
+  /// the caller (FloorService's sweep) loops passes to a fixpoint so
+  /// capacity a promotion frees on overshoot is never stranded.
+  void promote_host(GrantStore::HostView& host, ReleaseResult& out);
 
   std::size_t queued(GroupId group) const;
   std::size_t total_queued() const { return total_queued_; }
@@ -108,8 +122,17 @@ class QueueingPolicy : public ArbitrationPolicy {
     int priority = 0;
   };
 
+  void index_add(HostId host, GroupId group);
+  void index_remove(HostId host, GroupId group);
+
   ThreeRegimePolicy base_;  // the resource rule queueing is layered on
-  std::unordered_map<GroupId::value_type, std::deque<Parked>> queues_;
+  // Ordered by group id so promotion sweeps visit groups deterministically.
+  std::map<GroupId::value_type, std::deque<Parked>> queues_;
+  // host -> (group -> parked-entry count): a sweep visits only the queues
+  // that actually hold entries for the swept host, so a release never pays
+  // for entries parked against other hosts.
+  std::map<HostId::value_type, std::map<GroupId::value_type, std::size_t>>
+      host_index_;
   std::size_t total_queued_ = 0;
 };
 

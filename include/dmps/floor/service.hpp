@@ -7,7 +7,16 @@
 // the chosen ArbitrationPolicy against the GrantStore it owns. Servers
 // (fproto::FloorServer), sessions and benches consume exactly this
 // interface and never see grant slots or policy internals; it is also the
-// seam a future sharded/federated server will implement per shard.
+// per-shard surface ShardedFloorService federates (one FloorService per
+// host station).
+//
+// Freed capacity is handled through one capacity-change hook: sweep(host)
+// re-runs Media-Resume and queueing promotions on that host until a
+// fixpoint — a promotion that Media-Suspends a junior holder can overshoot
+// and free capacity of its own, which an earlier skipped queue entry or a
+// small suspended holder may now use; a single pass would strand it.
+// release() invokes the sweep for every host it freed capacity on; callers
+// changing capacity out of band (growing a live host) call it directly.
 
 #include <cstddef>
 
@@ -29,14 +38,23 @@ class FloorService {
   resource::HostResourceManager* host_manager(HostId host) {
     return store_.host_manager(host);
   }
+  bool has_host(HostId host) const { return store_.has_host(host); }
 
   /// FCM-Arbitrate: decide one floor request under the group's discipline.
   Decision request(const FloorRequest& request);
 
   /// Release every floor `member` holds in `group` and drop its parked
-  /// requests, then run the group's release discipline: Media-Resume
-  /// suspended holders that now fit, and promote queued requests.
+  /// requests, then sweep every host the release freed capacity on.
   ReleaseResult release(MemberId member, GroupId group);
+
+  /// Drop the member's parked (queued) requests in `group` without
+  /// touching grants it holds; dropped requests appear in `dequeued`.
+  ReleaseResult cancel(MemberId member, GroupId group);
+
+  /// Capacity-change hook: Media-Resume suspended holders and promote
+  /// queued requests on `host` until quiescent, regardless of which group
+  /// (or out-of-band event) freed the capacity.
+  ReleaseResult sweep(HostId host);
 
   const resource::Thresholds& thresholds() const { return thresholds_; }
   std::size_t active_grants() const { return store_.active_grants(); }
@@ -52,6 +70,7 @@ class FloorService {
 
  private:
   ArbitrationPolicy& policy_for(const Group& group, FcmMode request_mode);
+  void sweep_host(GrantStore::HostView& host, ReleaseResult& out);
 
   GroupRegistry& registry_;
   resource::Thresholds thresholds_;

@@ -2,19 +2,28 @@
 // Multi-station presentation sessions: the first code path where clock
 // sync, the DOCPN engine and FCM-Arbitrate all run together, over the wire.
 //
-// A Presentation wires N client stations against one server station on a
-// shared SimNetwork. The server station runs the GlobalClockServer and the
-// fproto FloorServer (GroupRegistry + FloorService). Each client station
-// gets its own drifting local clock, a GlobalClockClient + Admission-
-// Controller, a DocpnEngine playing a small intro/body/outro presentation,
-// and a FloorAgent. Links are asymmetric per station and direction
-// (different uplink/downlink latency, shared jitter/loss).
+// A Presentation wires N client stations against a server side on a shared
+// SimNetwork. Floor-control state is sharded by host station behind a
+// ShardedFloorService: the session stands up one fproto::FloorServer
+// endpoint per host shard (endpoint 0 shares the clock server's station),
+// all federating one conference through the shared GroupRegistry. Stations
+// are homed round-robin across the hosts and talk floor protocol to their
+// home shard's endpoint; clock sync always runs against the main server
+// station. Each client station gets its own drifting local clock, a
+// GlobalClockClient + AdmissionController, a DocpnEngine playing a small
+// intro/body/outro presentation, and a FloorAgent. Links are asymmetric
+// per station and direction (different uplink/downlink latency, shared
+// jitter/loss).
 //
 // The scripted behavior per station: join the group, request the floor at a
 // staggered instant, start DOCPN playout when granted, pause it on
 // Media-Suspend, resume it (shifted by the suspension span) on
 // Media-Resume, and release the floor when playout finishes. Denied
-// stations back off and retry a bounded number of times.
+// stations back off and retry a bounded number of times. With skip_after
+// set, each station additionally plays the user: it skips its body medium
+// that long after playback starts — skips landing while the playout is
+// suspended or already finished are refused by the engine (and counted),
+// never double-releasing the floor.
 
 #include <cstdint>
 #include <memory>
@@ -23,7 +32,7 @@
 #include "clock/global_clock.hpp"
 #include "docpn/docpn.hpp"
 #include "docpn/engine.hpp"
-#include "floor/service.hpp"
+#include "floor/sharded_service.hpp"
 #include "fproto/agent.hpp"
 #include "fproto/server.hpp"
 #include "net/sim_network.hpp"
@@ -33,6 +42,10 @@ namespace dmps::session {
 struct SessionConfig {
   std::uint64_t seed = 1;
   int stations = 4;
+  /// Host shards. Each host gets its own capacity, FloorService shard and
+  /// FloorServer endpoint; stations are homed round-robin (station i lives
+  /// on host 1 + i % hosts).
+  int hosts = 1;
 
   // Server-side arbitration.
   resource::Resource host_capacity{1.0, 1.0, 1.0};
@@ -57,6 +70,10 @@ struct SessionConfig {
   util::Duration request_stagger = util::Duration::millis(700);
   int max_request_attempts = 3;  // denied stations back off and retry
   util::Duration retry_backoff = util::Duration::millis(1500);
+  /// > zero: each station skips its body medium this long after its
+  /// playback starts (the user-skip workload). A skip that lands while the
+  /// playout is suspended or already finished is refused by the engine.
+  util::Duration skip_after = util::Duration::zero();
   fproto::AgentConfig agent;
   fproto::ServerConfig server;
 };
@@ -72,7 +89,15 @@ struct SessionStats {
   int suspends = 0;     // Media-Suspends applied at stations
   int resumes = 0;
   int playbacks_finished = 0;
-  int stuck_agents = 0;  // agents with an op still in flight (or failed)
+  int skips = 0;          // body skips the engine accepted
+  int skips_refused = 0;  // skips refused (suspended / finished / not playing)
+  /// Agents parked in kQueued at snapshot time: their request is alive
+  /// server-side and a Grant/Deny is still owed — waiting, not stuck.
+  int queued_waiting = 0;
+  /// Agents with an operation genuinely in flight (or kFailed) — excludes
+  /// queued_waiting, so queueing-policy liveness checks don't misfire on
+  /// members legitimately parked at horizon end.
+  int stuck_agents = 0;
   std::uint64_t client_retransmits = 0;
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t server_arbitrations = 0;
@@ -82,7 +107,7 @@ struct SessionStats {
   std::uint64_t messages_sent = 0;  // everything, clock sync included
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t floor_messages = 0;  // fproto datagrams only (agents + server)
+  std::uint64_t floor_messages = 0;  // fproto datagrams only (agents + servers)
 };
 
 /// Per-station snapshot for tests and tables.
@@ -95,6 +120,8 @@ struct StationSnapshot {
   int suspends = 0;
   int resumes = 0;
   int releases = 0;
+  int skips = 0;
+  int skips_refused = 0;
   bool playback_started = false;
   bool playback_finished = false;
   double playback_started_s = -1;   // sim-time seconds
@@ -116,9 +143,20 @@ class Presentation {
   StationSnapshot station(int index) const;
   sim::Simulator& sim() { return sim_; }
   const SessionConfig& config() const { return config_; }
+  floorctl::ShardedFloorService& arbitration() { return *arbitration_; }
 
  private:
   struct Station;
+  /// One federated floor endpoint: the FloorServer bound to a host shard.
+  /// Endpoint 0 lives on the main server station (demux is null — it uses
+  /// the server's); the rest get their own station and demux.
+  struct Endpoint {
+    floorctl::HostId host;
+    net::NodeId node;
+    std::unique_ptr<net::Demux> demux;
+    std::unique_ptr<fproto::FloorServer> server;
+  };
+
   void script_join(Station& s);
   void script_request(Station& s);
 
@@ -126,17 +164,16 @@ class Presentation {
   sim::Simulator sim_;
   net::SimNetwork network_;
 
-  // Server station.
+  // Server station (clock sync + endpoint 0).
   net::NodeId server_node_;
   std::unique_ptr<net::Demux> server_demux_;
   clk::TrueClock server_clock_;
   std::unique_ptr<clk::GlobalClockServer> clock_server_;
   floorctl::GroupRegistry registry_;
-  std::unique_ptr<floorctl::FloorService> arbitration_;
-  floorctl::HostId host_{1};
+  std::unique_ptr<floorctl::ShardedFloorService> arbitration_;
   floorctl::MemberId chair_;
   floorctl::GroupId group_;
-  std::unique_ptr<fproto::FloorServer> floor_server_;
+  std::vector<Endpoint> endpoints_;  // one per host shard
 
   std::vector<std::unique_ptr<Station>> stations_;
 };

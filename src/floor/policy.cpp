@@ -1,10 +1,12 @@
 #include "floor/policy.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace dmps::floorctl {
 
-void ArbitrationPolicy::cancel(MemberId, GroupId, ReleaseResult&) {}
+void ArbitrationPolicy::cancel(MemberId, GroupId, ReleaseResult&,
+                               std::vector<HostId>&) {}
 
 Decision ThreeRegimePolicy::decide(const FloorRequest& request,
                                    const RequestContext& ctx,
@@ -67,11 +69,6 @@ Decision ThreeRegimePolicy::decide(const FloorRequest& request,
   return decision;
 }
 
-void ThreeRegimePolicy::on_release(const Holder&, GrantStore::HostView& host,
-                                   ReleaseResult& out) {
-  host.resume_suspended(out.resumed);
-}
-
 Decision ChairedPolicy::decide(const FloorRequest& request,
                                const RequestContext& ctx,
                                GrantStore::HostView& host) {
@@ -87,72 +84,129 @@ Decision QueueingPolicy::decide(const FloorRequest& request,
                                 const RequestContext& ctx,
                                 GrantStore::HostView& host) {
   // A member already parked in this group re-requesting (e.g. a new attempt
-  // after its station recovered) keeps its queue position; only the payload
-  // is refreshed.
+  // after its station recovered) keeps its queue position. The payload is
+  // refreshed only when the host matches: a parked request's host is part
+  // of its queue identity — retargeting in place would vacate the old host
+  // without the sweep that unparks entries gated behind it there (and a
+  // sweep inside decide() has no result channel to report promotions).
+  // Re-homing takes an explicit cancel/release, which sweeps correctly.
   auto& queue = queues_[request.group.value()];
+  std::size_t ahead = 0;  // earlier entries contending for the same host
   for (Parked& parked : queue) {
     if (parked.request.member == request.member) {
-      parked.request = request;
-      parked.priority = ctx.priority;
       Decision decision;
       decision.outcome = Outcome::kQueued;
-      decision.reason = "queued: request already pending in this group";
+      if (parked.request.host == request.host) {
+        parked.request = request;
+        parked.priority = ctx.priority;
+        decision.reason = "queued: request already pending in this group";
+      } else {
+        decision.reason =
+            "queued: request already pending in this group for its original "
+            "host (cancel or release to re-home)";
+      }
       decision.availability_before = host.availability();
       decision.availability_after = decision.availability_before;
       return decision;
     }
+    if (parked.request.host == request.host) ++ahead;
+  }
+
+  // Arrival order is a contract: while earlier requests for this host sit
+  // parked, a newcomer parks behind them even if it would fit right now —
+  // deciding it immediately would queue-jump. Entries for other hosts do
+  // not gate it (their capacity is unrelated; under sharding they live in
+  // another shard entirely).
+  if (ahead > 0) {
+    queue.push_back(Parked{request, ctx.priority});
+    index_add(request.host, request.group);
+    ++total_queued_;
+    Decision decision;
+    decision.outcome = Outcome::kQueued;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "queued: parked behind %zu earlier request(s) for this host",
+                  ahead);
+    decision.reason = buf;
+    decision.availability_before = host.availability();
+    decision.availability_after = decision.availability_before;
+    return decision;
   }
 
   Decision decision = base_.decide(request, ctx, host);
   if (decision.outcome == Outcome::kGranted ||
       decision.outcome == Outcome::kGrantedDegraded) {
+    if (queue.empty()) queues_.erase(request.group.value());
     return decision;
   }
   // BFCP-style moderation: park the refusal instead of bouncing the client
-  // into a retry loop; a later release grants it from the queue.
+  // into a retry loop; freed capacity grants it from the queue.
   queue.push_back(Parked{request, ctx.priority});
+  index_add(request.host, request.group);
   ++total_queued_;
   decision.outcome = Outcome::kQueued;
   decision.reason = "queued: " + decision.reason;
   return decision;
 }
 
-void QueueingPolicy::on_release(const Holder& freed,
-                                GrantStore::HostView& host,
-                                ReleaseResult& out) {
-  base_.on_release(freed, host, out);  // Media-Resume has priority over queue
-
-  const auto it = queues_.find(freed.group.value());
-  if (it == queues_.end()) return;
-  auto& queue = it->second;
-  // Grant parked requests in arrival order. An entry that still does not
-  // fit (or targets a host whose capacity did not change) keeps its place;
-  // the walk continues so a smaller request behind it is not starved.
-  for (auto parked = queue.begin(); parked != queue.end();) {
-    if (parked->request.host != host.host()) {
-      ++parked;
-      continue;
-    }
-    RequestContext ctx;
-    ctx.priority = parked->priority;
-    ctx.chair = MemberId::invalid();  // chair gating already ran at park time
-    Decision decision = base_.decide(parked->request, ctx, host);
-    if (decision.outcome != Outcome::kGranted &&
-        decision.outcome != Outcome::kGrantedDegraded) {
-      ++parked;
-      continue;
-    }
-    out.promoted.push_back(Promotion{
-        Holder{parked->request.member, parked->request.group},
-        std::move(decision)});
-    parked = queue.erase(parked);
-    --total_queued_;
-  }
-  if (queue.empty()) queues_.erase(it);
+void QueueingPolicy::index_add(HostId host, GroupId group) {
+  ++host_index_[host.value()][group.value()];
 }
 
-void QueueingPolicy::cancel(MemberId member, GroupId group,
-                            ReleaseResult& out) {
+void QueueingPolicy::index_remove(HostId host, GroupId group) {
+  const auto groups = host_index_.find(host.value());
+  const auto count = groups->second.find(group.value());
+  if (--count->second == 0) groups->second.erase(count);
+  if (groups->second.empty()) host_index_.erase(groups);
+}
+
+void QueueingPolicy::promote_host(GrantStore::HostView& host,
+                                  ReleaseResult& out) {
+  // Grant parked requests in arrival order, visiting only the groups whose
+  // queues hold entries for this host (the host index); entries parked
+  // against other hosts in those queues are skipped in place. An entry
+  // that still does not fit keeps its place; the walk continues so a
+  // smaller request behind it is not starved.
+  const auto groups = host_index_.find(host.host().value());
+  if (groups == host_index_.end()) return;
+  // Promotions mutate the index; walk a snapshot of the group ids (small:
+  // only groups with entries here, already deduped and ordered).
+  std::vector<GroupId::value_type> group_ids;
+  group_ids.reserve(groups->second.size());
+  for (const auto& [group_id, count] : groups->second) {
+    group_ids.push_back(group_id);
+  }
+  for (const auto group_id : group_ids) {
+    const auto it = queues_.find(group_id);
+    if (it == queues_.end()) continue;
+    auto& queue = it->second;
+    for (auto parked = queue.begin(); parked != queue.end();) {
+      if (parked->request.host != host.host()) {
+        ++parked;
+        continue;
+      }
+      RequestContext ctx;
+      ctx.priority = parked->priority;
+      ctx.chair = MemberId::invalid();  // chair gating already ran at park time
+      Decision decision = base_.decide(parked->request, ctx, host);
+      if (decision.outcome != Outcome::kGranted &&
+          decision.outcome != Outcome::kGrantedDegraded) {
+        ++parked;
+        continue;
+      }
+      out.promoted.push_back(Promotion{
+          Holder{parked->request.member, parked->request.group},
+          std::move(decision)});
+      index_remove(parked->request.host, parked->request.group);
+      parked = queue.erase(parked);
+      --total_queued_;
+    }
+    if (queue.empty()) queues_.erase(it);
+  }
+}
+
+void QueueingPolicy::cancel(MemberId member, GroupId group, ReleaseResult& out,
+                            std::vector<HostId>& affected_hosts) {
   const auto it = queues_.find(group.value());
   if (it == queues_.end()) return;
   auto& queue = it->second;
@@ -162,6 +216,14 @@ void QueueingPolicy::cancel(MemberId member, GroupId group,
       continue;
     }
     out.dequeued.push_back(Holder{member, group});
+    // The dropped entry may have gated fitting entries behind it (the
+    // arrival-order rule) — report its host so the caller sweeps there;
+    // nothing else ever would, since no capacity changed.
+    if (std::find(affected_hosts.begin(), affected_hosts.end(),
+                  parked->request.host) == affected_hosts.end()) {
+      affected_hosts.push_back(parked->request.host);
+    }
+    index_remove(parked->request.host, parked->request.group);
     parked = queue.erase(parked);
     --total_queued_;
   }

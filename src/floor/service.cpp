@@ -53,18 +53,58 @@ ReleaseResult FloorService::release(MemberId member, GroupId group) {
   ReleaseResult result;
   const GrantStore::HolderRelease freed = store_.release_holder(member, group);
   result.released = freed.released;
-  if (!registry_.has_group(group)) return result;
-
-  ArbitrationPolicy& policy =
-      policy_for(registry_.group(group), FcmMode::kFreeAccess);
-  // A releasing (or leaving) member abandons its parked requests too.
-  policy.cancel(member, group, result);
-  for (const HostId host_id : freed.freed_hosts) {
+  // Sweep every host the release freed capacity on, plus every host a
+  // dequeued parked request targeted: dropping a queue entry frees no
+  // capacity, but it can unblock fitting entries parked behind it, and no
+  // later release would ever sweep there for them.
+  std::vector<HostId> hosts = freed.freed_hosts;
+  if (registry_.has_group(group)) {
+    // A releasing (or leaving) member abandons its parked requests too.
+    policy_for(registry_.group(group), FcmMode::kFreeAccess)
+        .cancel(member, group, result, hosts);
+  }
+  for (const HostId host_id : hosts) {
     auto host = store_.view(host_id);
-    if (!host) continue;
-    policy.on_release(Holder{member, group}, *host, result);
+    if (host) sweep_host(*host, result);
   }
   return result;
+}
+
+ReleaseResult FloorService::cancel(MemberId member, GroupId group) {
+  ReleaseResult result;
+  if (!registry_.has_group(group)) return result;
+  std::vector<HostId> hosts;
+  policy_for(registry_.group(group), FcmMode::kFreeAccess)
+      .cancel(member, group, result, hosts);
+  for (const HostId host_id : hosts) {
+    auto host = store_.view(host_id);
+    if (host) sweep_host(*host, result);
+  }
+  return result;
+}
+
+ReleaseResult FloorService::sweep(HostId host_id) {
+  ReleaseResult result;
+  auto host = store_.view(host_id);
+  if (host) sweep_host(*host, result);
+  return result;
+}
+
+void FloorService::sweep_host(GrantStore::HostView& host, ReleaseResult& out) {
+  // Fixpoint over resume + promotion. Media-Resume keeps priority over the
+  // queue (it runs first each pass); the loop re-runs both because a
+  // promotion's Media-Suspend can overshoot — freeing capacity that an
+  // earlier-skipped queue entry or a smaller suspended holder can use, and
+  // which no later release would ever hand back (a suspended victim's own
+  // release frees nothing). Terminates: each extra pass requires progress,
+  // promotions drain a finite queue, and a resumed holder can only be
+  // re-suspended by a promotion.
+  for (;;) {
+    const std::size_t before = out.resumed.size() + out.promoted.size();
+    host.resume_suspended(out.resumed);
+    queueing_.promote_host(host, out);
+    if (out.resumed.size() + out.promoted.size() == before) return;
+  }
 }
 
 }  // namespace dmps::floorctl

@@ -1,0 +1,133 @@
+#include "floor/sharded_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dmps::floorctl {
+
+ShardedFloorService::ShardedFloorService(GroupRegistry& registry,
+                                         clk::Clock& clock,
+                                         resource::Thresholds thresholds)
+    : registry_(registry), clock_(clock), thresholds_(thresholds) {}
+
+void ShardedFloorService::add_host(HostId host, resource::Resource capacity) {
+  auto it = shards_.find(host.value());
+  if (it == shards_.end()) {
+    it = shards_
+             .emplace(host.value(), std::make_unique<FloorService>(
+                                        registry_, clock_, thresholds_))
+             .first;
+  }
+  it->second->add_host(host, capacity);
+}
+
+FloorService* ShardedFloorService::shard(HostId host) {
+  const auto it = shards_.find(host.value());
+  return it != shards_.end() ? it->second.get() : nullptr;
+}
+
+resource::HostResourceManager* ShardedFloorService::host_manager(HostId host) {
+  FloorService* owner = shard(host);
+  return owner ? owner->host_manager(host) : nullptr;
+}
+
+Decision ShardedFloorService::request(const FloorRequest& request) {
+  FloorService* owner = shard(request.host);
+  if (!owner) {
+    Decision decision;
+    decision.reason = "unknown host station";
+    return decision;
+  }
+  Decision decision = owner->request(request);
+  if (decision.outcome == Outcome::kGranted ||
+      decision.outcome == Outcome::kGrantedDegraded ||
+      decision.outcome == Outcome::kQueued) {
+    // The shard now holds state for this (member, group): remember the
+    // route so release/cancel touch exactly the shards involved.
+    auto& hosts = routes_[holder_key(request.member, request.group)];
+    if (std::find(hosts.begin(), hosts.end(), request.host) == hosts.end()) {
+      hosts.push_back(request.host);
+    }
+  }
+  return decision;
+}
+
+void ShardedFloorService::merge(ReleaseResult& into, ReleaseResult&& from) {
+  into.released |= from.released;
+  into.resumed.insert(into.resumed.end(), from.resumed.begin(),
+                      from.resumed.end());
+  into.promoted.insert(into.promoted.end(),
+                       std::make_move_iterator(from.promoted.begin()),
+                       std::make_move_iterator(from.promoted.end()));
+  into.dequeued.insert(into.dequeued.end(), from.dequeued.begin(),
+                       from.dequeued.end());
+}
+
+ReleaseResult ShardedFloorService::release(MemberId member, GroupId group) {
+  ReleaseResult result;
+  const auto route = routes_.find(holder_key(member, group));
+  if (route == routes_.end()) return result;
+  const std::vector<HostId> hosts = std::move(route->second);
+  routes_.erase(route);
+  for (const HostId host : hosts) {
+    if (FloorService* owner = shard(host)) {
+      merge(result, owner->release(member, group));
+    }
+  }
+  return result;
+}
+
+ReleaseResult ShardedFloorService::cancel(MemberId member, GroupId group) {
+  ReleaseResult result;
+  const auto route = routes_.find(holder_key(member, group));
+  if (route == routes_.end()) return result;
+  for (const HostId host : route->second) {
+    if (FloorService* owner = shard(host)) {
+      merge(result, owner->cancel(member, group));
+    }
+  }
+  // The route survives only if the member still holds an actual grant
+  // somewhere (cancel drops parked state, not grants); recompute lazily on
+  // the next release — keeping stale hosts is harmless, releases there
+  // just report nothing.
+  return result;
+}
+
+ReleaseResult ShardedFloorService::sweep(HostId host) {
+  FloorService* owner = shard(host);
+  return owner ? owner->sweep(host) : ReleaseResult{};
+}
+
+std::size_t ShardedFloorService::active_grants() const {
+  std::size_t total = 0;
+  for (const auto& [id, shard] : shards_) total += shard->active_grants();
+  return total;
+}
+
+std::size_t ShardedFloorService::suspended_grants() const {
+  std::size_t total = 0;
+  for (const auto& [id, shard] : shards_) total += shard->suspended_grants();
+  return total;
+}
+
+std::size_t ShardedFloorService::grant_slots() const {
+  std::size_t total = 0;
+  for (const auto& [id, shard] : shards_) total += shard->grant_slots();
+  return total;
+}
+
+std::size_t ShardedFloorService::queued_requests() const {
+  std::size_t total = 0;
+  for (const auto& [id, shard] : shards_) total += shard->queued_requests();
+  return total;
+}
+
+std::size_t ShardedFloorService::queued_requests(GroupId group) const {
+  std::size_t total = 0;
+  for (const auto& [id, shard] : shards_) {
+    total += shard->queued_requests(group);
+  }
+  return total;
+}
+
+}  // namespace dmps::floorctl

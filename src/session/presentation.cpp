@@ -1,5 +1,6 @@
 #include "session/presentation.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -11,19 +12,21 @@ using util::TimePoint;
 struct Presentation::Station {
   int index = 0;
   floorctl::MemberId member;
+  floorctl::HostId home;  // the host shard this station is homed to
   net::NodeId node;
   std::unique_ptr<net::Demux> demux;
   std::unique_ptr<clk::DriftClock> local_clock;
   std::unique_ptr<clk::GlobalClockClient> clock_client;
   std::unique_ptr<clk::AdmissionController> admission;
   media::MediaLibrary lib;
+  media::MediaId body;  // the skippable main medium
   std::unique_ptr<docpn::Docpn> model;
   std::unique_ptr<docpn::DocpnEngine> engine;
   std::unique_ptr<fproto::FloorAgent> agent;
 
   int attempts = 0;  // request attempts used (denials consume one)
   int requests = 0, grants = 0, denies = 0, queues = 0, suspends = 0,
-      resumes = 0, releases = 0;
+      resumes = 0, releases = 0, skips = 0, skips_refused = 0;
   bool playback_started = false;
   bool playback_finished = false;
   TimePoint playback_started_at;
@@ -37,36 +40,67 @@ Presentation::Presentation(SessionConfig config)
       server_node_(network_.add_node("server")),
       server_demux_(std::make_unique<net::Demux>(network_, server_node_)),
       server_clock_(sim_) {
+  config_.hosts = std::max(1, config_.hosts);
   clock_server_ =
       std::make_unique<clk::GlobalClockServer>(*server_demux_, server_clock_);
-  arbitration_ = std::make_unique<floorctl::FloorService>(
+  arbitration_ = std::make_unique<floorctl::ShardedFloorService>(
       registry_, server_clock_, config_.thresholds);
-  arbitration_->add_host(host_, config_.host_capacity);
-  chair_ = registry_.add_member("moderator", 1'000'000, host_);
+
+  // One host shard per endpoint; endpoint 0 shares the clock server's
+  // station so a single-host session keeps the classic one-server topology.
+  for (int h = 0; h < config_.hosts; ++h) {
+    Endpoint endpoint;
+    endpoint.host = floorctl::HostId{static_cast<std::uint32_t>(1 + h)};
+    arbitration_->add_host(endpoint.host, config_.host_capacity);
+    if (h == 0) {
+      endpoint.node = server_node_;
+    } else {
+      endpoint.node = network_.add_node("floor" + std::to_string(h));
+      endpoint.demux = std::make_unique<net::Demux>(network_, endpoint.node);
+    }
+    endpoints_.push_back(std::move(endpoint));
+  }
+
+  chair_ = registry_.add_member("moderator", 1'000'000, endpoints_[0].host);
   group_ = registry_.create_group("session", floorctl::FcmMode::kFreeAccess,
                                   chair_, config_.policy);
-  floor_server_ = std::make_unique<fproto::FloorServer>(
-      *server_demux_, registry_, *arbitration_, config_.server);
+
+  // Federated moderation: one FloorServer per shard, all over the same
+  // GroupRegistry — one conference, arbitration partitioned by host.
+  for (Endpoint& endpoint : endpoints_) {
+    net::Demux& demux = endpoint.demux ? *endpoint.demux : *server_demux_;
+    endpoint.server = std::make_unique<fproto::FloorServer>(
+        demux, registry_, *arbitration_->shard(endpoint.host), config_.server);
+  }
 
   for (int i = 0; i < config_.stations; ++i) {
     auto station = std::make_unique<Station>();
     Station& s = *station;
     stations_.push_back(std::move(station));
     s.index = i;
+    const Endpoint& endpoint =
+        endpoints_[static_cast<std::size_t>(i % config_.hosts)];
+    s.home = endpoint.host;
     const std::string name = "station" + std::to_string(i);
     // Priorities cycle 1..3 so arbitration has real suspension victims.
-    s.member = registry_.add_member(name, 1 + (i % 3), host_);
+    s.member = registry_.add_member(name, 1 + (i % 3), s.home);
     s.node = network_.add_node(name);
 
     // Asymmetric links: uplink and downlink latency differ, and each
     // station sits a little further from the server than the previous one.
     const Duration skew = config_.per_station_skew * static_cast<double>(i);
-    network_.set_link(s.node, server_node_,
-                      net::LinkQuality{config_.up_latency + skew,
-                                       config_.jitter, config_.loss});
-    network_.set_link(server_node_, s.node,
-                      net::LinkQuality{config_.down_latency + skew,
-                                       config_.jitter, config_.loss});
+    const net::LinkQuality up{config_.up_latency + skew, config_.jitter,
+                              config_.loss};
+    const net::LinkQuality down{config_.down_latency + skew, config_.jitter,
+                                config_.loss};
+    network_.set_link(s.node, server_node_, up);
+    network_.set_link(server_node_, s.node, down);
+    if (endpoint.node != server_node_) {
+      // The station's floor endpoint is a different server station: same
+      // asymmetric qualities on that pair.
+      network_.set_link(s.node, endpoint.node, up);
+      network_.set_link(endpoint.node, s.node, down);
+    }
 
     s.demux = std::make_unique<net::Demux>(network_, s.node);
     // Workstation oscillators: deterministic spread of drift and phase.
@@ -84,15 +118,19 @@ Presentation::Presentation(SessionConfig config)
     const auto intro =
         s.lib.add("intro" + std::to_string(i), media::MediaType::kImage,
                   Duration::millis(400));
-    const auto body = s.lib.add("body" + std::to_string(i),
-                                media::MediaType::kVideo, config_.media_len);
+    s.body = s.lib.add("body" + std::to_string(i), media::MediaType::kVideo,
+                       config_.media_len);
     const auto outro =
         s.lib.add("outro" + std::to_string(i), media::MediaType::kText,
                   Duration::millis(400));
     ocpn::PresentationSpec spec;
-    spec.set_root(spec.seq({spec.media(intro), spec.media(body), spec.media(outro)}));
+    spec.set_root(
+        spec.seq({spec.media(intro), spec.media(s.body), spec.media(outro)}));
     s.model = std::make_unique<docpn::Docpn>(s.lib, std::move(spec),
                                              docpn::Docpn::Options{true});
+    // The user-skip workload needs the skip splice in the net before the
+    // engine attaches; leave plain sessions' nets untouched.
+    if (config_.skip_after > Duration::zero()) s.model->add_skip(s.body);
 
     docpn::EngineEvents engine_events;
     engine_events.on_finished = [this, &s](TimePoint) {
@@ -112,6 +150,18 @@ Presentation::Presentation(SessionConfig config)
       s.playback_started = true;
       s.playback_started_at = sim_.now();
       s.engine->start(s.admission->global_now());
+      if (config_.skip_after > Duration::zero()) {
+        // The scripted user: skip the body partway through. The engine
+        // refuses skips while the playout is suspended or already finished
+        // — either way the floor is released exactly once, on finish.
+        sim_.schedule_in(config_.skip_after, [&s] {
+          if (s.engine->skip(s.body)) {
+            ++s.skips;
+          } else {
+            ++s.skips_refused;
+          }
+        });
+      }
     };
     events.on_denied = [this, &s](std::uint64_t, floorctl::Outcome) {
       ++s.denies;
@@ -135,7 +185,8 @@ Presentation::Presentation(SessionConfig config)
     };
     events.on_released = [&s](std::uint64_t) { ++s.releases; };
     s.agent = std::make_unique<fproto::FloorAgent>(
-        *s.demux, server_node_, s.member, group_, host_, config_.agent, events);
+        *s.demux, endpoint.node, s.member, group_, s.home, config_.agent,
+        events);
 
     // Scripted entrances: stations trickle in, then request staggered.
     sim_.schedule_in(Duration::millis(100 + 30 * i), [this, &s] { script_join(s); });
@@ -178,16 +229,26 @@ SessionStats Presentation::stats() const {
     out.suspends += s.suspends;
     out.resumes += s.resumes;
     out.playbacks_finished += s.playback_finished ? 1 : 0;
-    out.stuck_agents += s.agent->terminated() ? 0 : 1;
+    out.skips += s.skips;
+    out.skips_refused += s.skips_refused;
+    // Stuck means an operation is genuinely in flight (or failed). An
+    // agent parked in kQueued is alive: its request sits server-side and a
+    // Grant/Deny is still owed — report it as waiting, not stuck.
+    const bool queued_waiting =
+        s.agent->state() == fproto::AgentState::kQueued;
+    out.queued_waiting += queued_waiting ? 1 : 0;
+    out.stuck_agents += (s.agent->terminated() || queued_waiting) ? 0 : 1;
     out.client_retransmits += s.agent->retransmits();
     out.duplicates_suppressed += s.agent->duplicates_suppressed();
     out.floor_messages += s.agent->messages_sent();
   }
-  out.floor_messages += floor_server_->messages_sent();
-  out.server_arbitrations = floor_server_->requests_arbitrated();
-  out.server_duplicate_requests = floor_server_->duplicate_requests();
-  out.notify_retransmits = floor_server_->notify_retransmits();
-  out.notifies_pending = floor_server_->notifies_pending();
+  for (const Endpoint& endpoint : endpoints_) {
+    out.floor_messages += endpoint.server->messages_sent();
+    out.server_arbitrations += endpoint.server->requests_arbitrated();
+    out.server_duplicate_requests += endpoint.server->duplicate_requests();
+    out.notify_retransmits += endpoint.server->notify_retransmits();
+    out.notifies_pending += endpoint.server->notifies_pending();
+  }
   out.messages_sent = network_.sent();
   out.messages_dropped = network_.dropped();
   out.messages_delivered = network_.delivered();
@@ -205,6 +266,8 @@ StationSnapshot Presentation::station(int index) const {
   snap.suspends = s.suspends;
   snap.resumes = s.resumes;
   snap.releases = s.releases;
+  snap.skips = s.skips;
+  snap.skips_refused = s.skips_refused;
   snap.playback_started = s.playback_started;
   snap.playback_finished = s.playback_finished;
   if (s.playback_started) {

@@ -291,6 +291,148 @@ TEST_F(QueueingFixture, ReRequestWhileParkedKeepsQueuePosition) {
   EXPECT_EQ(rel.promoted[1].holder, (Holder{low2, group}));
 }
 
+TEST_F(QueueingFixture, NewcomerParksBehindANonEmptyQueue) {
+  ASSERT_EQ(service.request(req(mid, 0.7)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low1, 0.6)).outcome, Outcome::kQueued);
+  // low2's 0.2 fits right now (0.3 free) — but granting it would queue-jump
+  // low1, which arrived first. Arrival order demands it park behind.
+  const auto d = service.request(req(low2, 0.2));
+  EXPECT_EQ(d.outcome, Outcome::kQueued);
+  EXPECT_NE(d.reason.find("parked behind"), std::string::npos);
+  EXPECT_EQ(service.queued_requests(group), 2u);
+  EXPECT_EQ(service.active_grants(), 1u);  // nothing was reserved for it
+
+  // mid releases 0.7: low1 (first in) gets its 0.6, and low2's 0.2 fits in
+  // the remainder — both promote, in arrival order.
+  const auto rel = service.release(mid, group);
+  ASSERT_EQ(rel.promoted.size(), 2u);
+  EXPECT_EQ(rel.promoted[0].holder, (Holder{low1, group}));
+  EXPECT_EQ(rel.promoted[1].holder, (Holder{low2, group}));
+  EXPECT_EQ(service.queued_requests(group), 0u);
+}
+
+TEST_F(QueueingFixture, SuspendChainPromotionsReachAFixpoint) {
+  // A promotion that Media-Suspends can overshoot and free capacity of its
+  // own; a single resume-then-promote pass strands that capacity — no
+  // later release would ever hand it back (a suspended victim's release
+  // frees nothing). The sweep must loop to a fixpoint. Build a 3-deep
+  // chain: two promotions suspend three holders between them, and the
+  // smallest suspended holder fits again only after the *last* promotion.
+  ASSERT_EQ(service.request(req(low1, 0.55)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low2, 0.43)).outcome, Outcome::kGranted);
+  // Availability 0.02 < beta: everything below parks (Abort-Arbitrate).
+  ASSERT_EQ(service.request(req(low3, 0.1)).outcome, Outcome::kQueued);
+  ASSERT_EQ(service.request(req(mid, 0.8)).outcome, Outcome::kQueued);
+  ASSERT_EQ(service.request(req(chair, 0.55)).outcome, Outcome::kQueued);
+
+  // low2 releases 0.43. The promotion walk: low3's 0.1 fits outright;
+  // mid's 0.8 suspends low1 (chain link 1); the chair's 0.55 suspends low3
+  // and mid right back (chain links 2 and 3), overshooting to 0.45 free —
+  // enough for low3's 0.1 to Media-Resume. Only a second sweep pass can
+  // see that; the single-pass walk left low3 suspended forever.
+  const auto rel = service.release(low2, group);
+  ASSERT_EQ(rel.promoted.size(), 3u);
+  EXPECT_EQ(rel.promoted[0].holder, (Holder{low3, group}));
+  EXPECT_EQ(rel.promoted[1].holder, (Holder{mid, group}));
+  EXPECT_EQ(rel.promoted[1].decision.suspended,
+            (std::vector<Holder>{{low1, group}}));
+  EXPECT_EQ(rel.promoted[2].holder, (Holder{chair, group}));
+  EXPECT_EQ(rel.promoted[2].decision.suspended,
+            (std::vector<Holder>{{low3, group}, {mid, group}}));
+  EXPECT_EQ(rel.resumed, (std::vector<Holder>{{low3, group}}));  // pass 2
+  EXPECT_EQ(service.queued_requests(group), 0u);
+  EXPECT_EQ(service.active_grants(), 2u);     // chair 0.55 + low3 0.1
+  EXPECT_EQ(service.suspended_grants(), 2u);  // low1 0.55, mid 0.8
+
+  // A suspended victim releasing frees no capacity: nothing resumes,
+  // nothing promotes, and nothing is lost either — the interleaving is
+  // exactly accounted.
+  const auto victim = service.release(mid, group);
+  EXPECT_TRUE(victim.released);
+  EXPECT_TRUE(victim.resumed.empty());
+  EXPECT_TRUE(victim.promoted.empty());
+  EXPECT_EQ(service.suspended_grants(), 1u);
+
+  // The chair's release finally refits low1.
+  const auto rel2 = service.release(chair, group);
+  EXPECT_EQ(rel2.resumed, (std::vector<Holder>{{low1, group}}));
+  EXPECT_EQ(service.suspended_grants(), 0u);
+}
+
+TEST_F(QueueingFixture, DequeuedBlockerUnparksFittingEntriesBehindIt) {
+  // low1 parks a request that can never fit (2.0 against capacity 1.0) on
+  // an otherwise idle host; low2's perfectly fitting 0.1 parks behind it
+  // under the arrival-order rule. When low1 gives up, no capacity changes
+  // — only the dequeue itself can trigger the sweep that seats low2. If
+  // it didn't, low2 would poll in kQueued forever over a fully idle host.
+  ASSERT_EQ(service.request(req(low1, 2.0)).outcome, Outcome::kQueued);
+  ASSERT_EQ(service.request(req(low2, 0.1)).outcome, Outcome::kQueued);
+
+  // Path 1: the blocker leaves via release (it holds no grant).
+  const auto rel = service.release(low1, group);
+  EXPECT_FALSE(rel.released);
+  EXPECT_EQ(rel.dequeued, (std::vector<Holder>{{low1, group}}));
+  ASSERT_EQ(rel.promoted.size(), 1u);
+  EXPECT_EQ(rel.promoted[0].holder, (Holder{low2, group}));
+  EXPECT_EQ(service.queued_requests(group), 0u);
+  ASSERT_TRUE(service.release(low2, group).released);
+
+  // Path 2: same shape through the explicit cancel() surface.
+  ASSERT_EQ(service.request(req(low1, 2.0)).outcome, Outcome::kQueued);
+  ASSERT_EQ(service.request(req(low3, 0.1)).outcome, Outcome::kQueued);
+  const auto cancelled = service.cancel(low1, group);
+  EXPECT_EQ(cancelled.dequeued, (std::vector<Holder>{{low1, group}}));
+  ASSERT_EQ(cancelled.promoted.size(), 1u);
+  EXPECT_EQ(cancelled.promoted[0].holder, (Holder{low3, group}));
+  EXPECT_EQ(service.queued_requests(group), 0u);
+}
+
+TEST_F(QueueingFixture, CapacityFreedByAnotherGroupPromotesTheQueue) {
+  // The capacity-change hook is host-scoped, not group-scoped: a release
+  // in a three-regime group on the same host must promote this queueing
+  // group's parked requests.
+  const auto other =
+      registry.create_group("other", FcmMode::kFreeAccess, chair);
+  registry.join(mid, other);
+  FloorRequest r = req(mid, 0.7);
+  r.group = other;
+  ASSERT_EQ(service.request(r).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low1, 0.5)).outcome, Outcome::kQueued);
+
+  const auto rel = service.release(mid, other);
+  ASSERT_TRUE(rel.released);
+  ASSERT_EQ(rel.promoted.size(), 1u);
+  EXPECT_EQ(rel.promoted[0].holder, (Holder{low1, group}));
+  EXPECT_EQ(service.queued_requests(group), 0u);
+}
+
+TEST_F(QueueingFixture, ReRequestWhileParkedCannotRetargetItsHost) {
+  // A parked request's host is part of its queue identity: re-homing it in
+  // place would vacate the old host without the sweep that unparks entries
+  // gated behind it there. A re-request for another host keeps the entry
+  // (payload included) parked for the original host; re-homing takes an
+  // explicit cancel/release first.
+  service.add_host(HostId{2}, Resource{1.0, 1.0, 1.0});
+  ASSERT_EQ(service.request(req(mid, 0.7)).outcome, Outcome::kGranted);
+  ASSERT_EQ(service.request(req(low1, 0.6)).outcome, Outcome::kQueued);
+  ASSERT_EQ(service.request(req(low2, 0.2)).outcome, Outcome::kQueued);
+
+  FloorRequest retarget = req(low1, 0.1);
+  retarget.host = HostId{2};
+  const auto d = service.request(retarget);
+  EXPECT_EQ(d.outcome, Outcome::kQueued);
+  EXPECT_NE(d.reason.find("original host"), std::string::npos);
+
+  // The promotion lands on host 1 with the original 0.6 payload (0.2 free
+  // afterwards proves neither the host nor the qos was rewritten).
+  const auto rel = service.release(mid, group);
+  ASSERT_EQ(rel.promoted.size(), 2u);
+  EXPECT_EQ(rel.promoted[0].holder, (Holder{low1, group}));
+  EXPECT_EQ(rel.promoted[1].holder, (Holder{low2, group}));
+  EXPECT_NEAR(service.host_manager(host)->availability(), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(service.host_manager(HostId{2})->availability(), 1.0);
+}
+
 TEST_F(QueueingFixture, ChairedQueueingGroupStillGatesOnTheChair) {
   // Chair gating runs before the queue: a non-chair request in a chaired
   // queueing group is refused outright, never parked.

@@ -136,6 +136,195 @@ TEST(Session, QueueingGroupParksContendersInsteadOfDenying) {
   EXPECT_EQ(stats.notifies_pending, 0u);
 }
 
+TEST(Session, UserSkipMidPlaybackEndsEarlyAndReleasesOnce) {
+  // The user-skip workload: each station skips its body 1s into playback.
+  // Playout collapses to intro + skipped body + outro, the floor is
+  // released exactly once per grant, and nobody is left in flight.
+  session::SessionConfig config;
+  config.seed = 11;
+  config.stations = 2;
+  config.loss = 0.0;
+  config.qos = media::QosRequirement{0.22, 0.22, 0.22};
+  config.media_len = Duration::seconds(5);
+  config.skip_after = Duration::seconds(1);
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(60));
+
+  EXPECT_EQ(stats.stuck_agents, 0);
+  EXPECT_EQ(stats.granted, 2);
+  EXPECT_EQ(stats.skips, 2);
+  EXPECT_EQ(stats.skips_refused, 0);
+  EXPECT_EQ(stats.playbacks_finished, 2);
+  EXPECT_EQ(stats.released, stats.granted);  // exactly one release per grant
+  for (int i = 0; i < config.stations; ++i) {
+    const auto snap = presentation.station(i);
+    EXPECT_EQ(snap.skips, 1) << i;
+    EXPECT_EQ(snap.releases, 1) << i;
+    ASSERT_TRUE(snap.playback_finished) << i;
+    // Unskipped playout is 0.4 + 5 + 0.4 = 5.8s; the skip cuts the body at
+    // ~1s in, so the span collapses to well under half of that.
+    EXPECT_LT(snap.playback_finished_s - snap.playback_started_s, 3.0) << i;
+  }
+}
+
+TEST(Session, SkipDuringSuspendIsRefusedAndDoesNotDoubleRelease) {
+  // The suspend scenario with a scripted skip: station0 (priority 1) is
+  // Media-Suspended ~1.5s into playback when station1 outranks it, so its
+  // skip at +2.5s lands mid-suspension — the engine refuses it, playback
+  // resumes later and finishes naturally, and the floor is released
+  // exactly once. station1 is playing when its own skip lands, ends early.
+  session::SessionConfig config;
+  config.seed = 7;
+  config.stations = 2;
+  config.loss = 0.0;
+  config.qos = media::QosRequirement{0.6, 0.6, 0.6};
+  config.media_len = Duration::seconds(5);
+  config.request_stagger = Duration::millis(1500);
+  config.skip_after = Duration::millis(2500);
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(60));
+
+  EXPECT_EQ(stats.stuck_agents, 0);
+  EXPECT_EQ(stats.granted, 2);
+  EXPECT_EQ(stats.suspends, 1);
+  EXPECT_EQ(stats.resumes, 1);
+  EXPECT_EQ(stats.skips, 1);          // station1's, mid-playback
+  EXPECT_EQ(stats.skips_refused, 1);  // station0's, mid-suspension
+  EXPECT_EQ(stats.playbacks_finished, 2);
+  EXPECT_EQ(stats.released, stats.granted);
+  EXPECT_EQ(stats.notifies_pending, 0u);
+
+  const auto low = presentation.station(0);
+  const auto high = presentation.station(1);
+  EXPECT_EQ(low.suspends, 1);
+  EXPECT_EQ(low.skips, 0);
+  EXPECT_EQ(low.skips_refused, 1);
+  EXPECT_EQ(low.releases, 1);  // refused skip must not re-release
+  EXPECT_EQ(high.skips, 1);
+  EXPECT_EQ(high.releases, 1);
+  ASSERT_TRUE(low.playback_finished);
+  // station0's playout survived the refused skip: it played its full 5.8s
+  // (stretched by the suspension), never cut short.
+  EXPECT_GT(low.playback_finished_s - low.playback_started_s, 5.8 - 0.3);
+}
+
+TEST(Session, SkipAfterFinishIsRefusedAndDoesNotDoubleRelease) {
+  // Skip-near-finish: the scripted skip lands after the playout already
+  // finished and released. The engine refuses it — a second release would
+  // otherwise corrupt the floor accounting.
+  session::SessionConfig config;
+  config.seed = 13;
+  config.stations = 2;
+  config.loss = 0.0;
+  config.qos = media::QosRequirement{0.22, 0.22, 0.22};
+  config.media_len = Duration::seconds(5);
+  config.skip_after = Duration::seconds(10);  // > 5.8s total playout
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(60));
+
+  EXPECT_EQ(stats.stuck_agents, 0);
+  EXPECT_EQ(stats.granted, 2);
+  EXPECT_EQ(stats.skips, 0);
+  EXPECT_EQ(stats.skips_refused, 2);
+  EXPECT_EQ(stats.playbacks_finished, 2);
+  EXPECT_EQ(stats.released, stats.granted);
+  for (int i = 0; i < config.stations; ++i) {
+    EXPECT_EQ(presentation.station(i).releases, 1) << i;
+    EXPECT_EQ(presentation.station(i).state, AgentState::kJoined) << i;
+  }
+}
+
+TEST(Session, QueuedAtHorizonEndIsWaitingNotStuck) {
+  // Six stations of 0.6 against capacity 1.0 under the queueing policy.
+  // Priorities cycle 1..3, so the first three grants arrive by suspension
+  // cascade (p2 suspends p1, p3 suspends p2); station3 (p1 again) has no
+  // junior to suspend and parks, and stations 4-5 park behind it in
+  // arrival order. Snapshot mid-playback: the parked agents are
+  // legitimately alive in kQueued — they must be reported as
+  // queued_waiting, not stuck (the old accounting counted any
+  // non-terminated agent as stuck and tripped liveness checks on
+  // queueing sessions).
+  session::SessionConfig config;
+  config.seed = 31;
+  config.stations = 6;
+  config.loss = 0.0;
+  config.policy = floorctl::PolicyKind::kQueueing;
+  config.qos = media::QosRequirement{0.6, 0.6, 0.6};
+  config.media_len = Duration::seconds(5);
+  config.request_stagger = Duration::millis(400);
+  config.max_request_attempts = 1;
+  session::Presentation presentation(config);
+  const auto mid_run = presentation.run(Duration::seconds(4));
+
+  EXPECT_EQ(mid_run.granted, 3);
+  EXPECT_EQ(mid_run.queued_waiting, 3);  // parked, polling, alive
+  EXPECT_EQ(mid_run.stuck_agents, 0);    // ...and decidedly not stuck
+  EXPECT_EQ(presentation.station(3).state, AgentState::kQueued);
+  EXPECT_EQ(presentation.station(4).state, AgentState::kQueued);
+  EXPECT_EQ(presentation.station(5).state, AgentState::kQueued);
+
+  // Extending the same session drains the queue: everyone plays, nothing
+  // was actually stuck.
+  const auto stats = presentation.run(Duration::seconds(56));
+  EXPECT_EQ(stats.granted, 6);
+  EXPECT_EQ(stats.queued_waiting, 0);
+  EXPECT_EQ(stats.stuck_agents, 0);
+  EXPECT_EQ(stats.playbacks_finished, 6);
+  EXPECT_EQ(stats.released, stats.granted);
+}
+
+TEST(Session, FederatedHostShardsServeOneConference) {
+  // Two host shards, two FloorServer endpoints, six stations homed
+  // round-robin: each host carries three 0.6 feeds against capacity 1.0,
+  // so every shard runs its own arbitration and queue while the
+  // conference (group, membership) stays one. Everyone is eventually
+  // granted by its own shard's promotions.
+  session::SessionConfig config;
+  config.seed = 42;
+  config.stations = 6;
+  config.hosts = 2;
+  config.loss = 0.02;
+  config.policy = floorctl::PolicyKind::kQueueing;
+  config.qos = media::QosRequirement{0.6, 0.6, 0.6};
+  config.media_len = Duration::seconds(4);
+  config.max_request_attempts = 1;
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(120));
+
+  EXPECT_EQ(presentation.arbitration().shard_count(), 2u);
+  EXPECT_EQ(stats.stuck_agents, 0);
+  EXPECT_EQ(stats.queued_waiting, 0);
+  EXPECT_GT(stats.queued, 0);  // the shards' queues really were exercised
+  EXPECT_EQ(stats.requests_issued, 6);
+  EXPECT_EQ(stats.granted, 6);
+  EXPECT_EQ(stats.denied, 0);
+  EXPECT_EQ(stats.playbacks_finished, 6);
+  EXPECT_EQ(stats.released, stats.granted);
+  EXPECT_EQ(stats.notifies_pending, 0u);
+  for (int i = 0; i < config.stations; ++i) {
+    EXPECT_EQ(presentation.station(i).state, AgentState::kJoined) << i;
+  }
+}
+
+TEST(Session, FederatedSameSeedSameStory) {
+  session::SessionConfig config;
+  config.seed = 17;
+  config.stations = 8;
+  config.hosts = 4;
+  config.loss = 0.03;
+  config.policy = floorctl::PolicyKind::kQueueing;
+  config.qos = media::QosRequirement{0.5, 0.5, 0.5};
+  session::Presentation a(config);
+  session::Presentation b(config);
+  const auto sa = a.run(Duration::seconds(90));
+  const auto sb = b.run(Duration::seconds(90));
+  EXPECT_EQ(sa.requests_issued, sb.requests_issued);
+  EXPECT_EQ(sa.granted, sb.granted);
+  EXPECT_EQ(sa.queued, sb.queued);
+  EXPECT_EQ(sa.messages_sent, sb.messages_sent);
+  EXPECT_EQ(sa.messages_dropped, sb.messages_dropped);
+}
+
 TEST(Session, SameSeedSameStory) {
   session::SessionConfig config;
   config.seed = 5;
