@@ -13,15 +13,19 @@
 //
 // Micro: arbitrate+release round-trip cost vs group size.
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "clock/drift_clock.hpp"
+#include "floor/parallel_sharded_service.hpp"
 #include "floor/service.hpp"
 #include "floor/sharded_service.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/sanitizers.hpp"
 
 namespace {
 
@@ -41,6 +45,8 @@ struct Cluster {
 
   explicit Cluster(int m, double capacity = 1.0) {
     service.add_host(host, Resource{capacity, capacity, capacity});
+    // One snapshot publish for the whole population, not one per member.
+    GroupRegistry::Batch batch(registry);
     const auto chair = registry.add_member("chair", 3, host);
     group = registry.create_group("g", FcmMode::kFreeAccess, chair);
     members.push_back(chair);
@@ -144,18 +150,30 @@ struct DegradedWorld {
   DegradedWorld(int m, int k) : cluster(2, 1.0), probe_qos(0.6) {
     // Dedicated members so priorities are exact (the Cluster ctor's cycling
     // members are unused): k fat at priority 1, the rest tiny at priority 2.
-    prober = cluster.registry.add_member("prober", 3, cluster.host);
-    (void)cluster.registry.join(prober, cluster.group);
+    // Registration is batched (one snapshot publish); the preload requests
+    // run after the batch closes, against the published snapshot.
+    std::vector<MemberId> preload;
+    preload.reserve(static_cast<std::size_t>(m));
+    {
+      GroupRegistry::Batch batch(cluster.registry);
+      prober = cluster.registry.add_member("prober", 3, cluster.host);
+      (void)cluster.registry.join(prober, cluster.group);
+      for (int i = 0; i < m; ++i) {
+        const bool is_fat = i < k;
+        const auto member = cluster.registry.add_member(
+            (is_fat ? "fat" : "tiny") + std::to_string(i), is_fat ? 1 : 2,
+            cluster.host);
+        (void)cluster.registry.join(member, cluster.group);
+        preload.push_back(member);
+      }
+    }
     const double fat = 0.4 / k;
     const double tiny = 0.4 / (m - k);
     for (int i = 0; i < m; ++i) {
       const bool is_fat = i < k;
-      const auto member = cluster.registry.add_member(
-          (is_fat ? "fat" : "tiny") + std::to_string(i), is_fat ? 1 : 2,
-          cluster.host);
-      (void)cluster.registry.join(member, cluster.group);
       const auto d = cluster.service.request(
-          cluster.request(member, is_fat ? fat : tiny));
+          cluster.request(preload[static_cast<std::size_t>(i)],
+                          is_fat ? fat : tiny));
       if (d.outcome != Outcome::kGranted &&
           d.outcome != Outcome::kGrantedDegraded) {
         std::fprintf(stderr, "degraded preload failed: %s\n", d.reason.c_str());
@@ -228,16 +246,22 @@ void sharded_sweep_scenario() {
     constexpr int kPerHost = 256;
     constexpr int kResident = 64;  // grants held for the whole run
     std::vector<std::vector<MemberId>> members(hosts);
+    {
+      GroupRegistry::Batch batch(registry);
+      for (int h = 0; h < hosts; ++h) {
+        const HostId host{static_cast<std::uint32_t>(h + 1)};
+        service.add_host(host, Resource{1e9, 1e9, 1e9});
+        for (int i = 0; i < kPerHost; ++i) {
+          const auto member = registry.add_member(
+              "m" + std::to_string(h) + "_" + std::to_string(i), 1 + (i % 3),
+              host);
+          (void)registry.join(member, group);
+          members[h].push_back(member);
+        }
+      }
+    }
     for (int h = 0; h < hosts; ++h) {
       const HostId host{static_cast<std::uint32_t>(h + 1)};
-      service.add_host(host, Resource{1e9, 1e9, 1e9});
-      for (int i = 0; i < kPerHost; ++i) {
-        const auto member = registry.add_member(
-            "m" + std::to_string(h) + "_" + std::to_string(i), 1 + (i % 3),
-            host);
-        (void)registry.join(member, group);
-        members[h].push_back(member);
-      }
       for (int i = 0; i < kResident; ++i) {
         FloorRequest r;
         r.group = group;
@@ -272,6 +296,215 @@ void sharded_sweep_scenario() {
     dmps::bench::row("%5d | %13d | %14ld | %7.1f | %11.0f | %10.3f", hosts,
                      hosts * kPerHost, total, wall_ms,
                      total / (wall_ms / 1000.0), 1000.0 * wall_ms / total);
+  }
+}
+
+/// One conference world for the strong-scaling sweep: kShards hosts, each
+/// preloaded like DegradedWorld (kFat fat priority-1 holders worth 0.4 of
+/// the host plus tiny priority-2 holders worth another 0.4), with one
+/// priority-3 prober per host whose 0.6 request Media-Suspends the fat
+/// holders and whose release Media-Resumes them. Every probe+release pair
+/// is therefore a real degraded-path arbitration (ordered-index victim walk
+/// + resume sweep), the workload shards scale on.
+struct ScalingWorld {
+  static constexpr int kShards = 16;
+  static constexpr int kFat = 16;
+#ifdef DMPS_SANITIZER_THREAD
+  // TSan slows the sweep ~10x; shrink the load so the tsan CI job still
+  // runs every scenario end to end.
+  static constexpr int kTiny = 96;
+  static constexpr int kPairsPerShard = 150;
+#else
+  static constexpr int kTiny = 384;
+  static constexpr int kPairsPerShard = 2500;
+#endif
+
+  sim::Simulator sim;
+  clk::TrueClock clock{sim};
+  GroupRegistry registry;
+  GroupId group;
+  std::vector<HostId> hosts;
+  std::vector<MemberId> probers;                // one per host
+  std::vector<std::vector<MemberId>> preload;   // per host, fat first
+
+  ScalingWorld() {
+    GroupRegistry::Batch batch(registry);
+    const auto chair = registry.add_member("chair", 3, HostId{1});
+    group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+    for (int h = 0; h < kShards; ++h) {
+      const HostId host{static_cast<std::uint32_t>(h + 1)};
+      hosts.push_back(host);
+      const auto prober = registry.add_member("p" + std::to_string(h), 3, host);
+      (void)registry.join(prober, group);
+      probers.push_back(prober);
+      preload.emplace_back();
+      for (int i = 0; i < kFat + kTiny; ++i) {
+        const bool is_fat = i < kFat;
+        const auto member = registry.add_member(
+            (is_fat ? "fat" : "tiny") + std::to_string(h) + "_" +
+                std::to_string(i),
+            is_fat ? 1 : 2, host);
+        (void)registry.join(member, group);
+        preload.back().push_back(member);
+      }
+    }
+  }
+
+  FloorRequest make_request(MemberId member, HostId host, double qos) const {
+    FloorRequest r;
+    r.group = group;
+    r.member = member;
+    r.host = host;
+    r.qos = media::QosRequirement{qos, qos, qos};
+    return r;
+  }
+
+  /// Seat the resident population on `service` (any facade exposing
+  /// add_host + a synchronous per-shard request path).
+  template <typename AddHost, typename Request>
+  void populate(AddHost&& add_host, Request&& request) {
+    const double fat_qos = 0.4 / kFat;
+    const double tiny_qos = 0.4 / kTiny;
+    for (int h = 0; h < kShards; ++h) {
+      add_host(hosts[static_cast<std::size_t>(h)], Resource{1.0, 1.0, 1.0});
+    }
+    for (int h = 0; h < kShards; ++h) {
+      const auto& members = preload[static_cast<std::size_t>(h)];
+      for (int i = 0; i < kFat + kTiny; ++i) {
+        const bool is_fat = i < kFat;
+        const auto d = request(make_request(
+            members[static_cast<std::size_t>(i)],
+            hosts[static_cast<std::size_t>(h)], is_fat ? fat_qos : tiny_qos));
+        if (d.outcome != Outcome::kGranted &&
+            d.outcome != Outcome::kGrantedDegraded) {
+          std::fprintf(stderr, "scaling preload failed: %s\n", d.reason.c_str());
+          std::abort();
+        }
+      }
+    }
+  }
+};
+
+void parallel_strong_scaling_scenario() {
+  // The ROADMAP scale item, measured: shards execute on real threads. Same
+  // total request load in every row — kShards shards x kPairsPerShard
+  // degraded probe+release pairs — first on the single-threaded
+  // ShardedFloorService (the baseline the speedup column divides by), then
+  // on ParallelShardedFloorService with 1..16 worker threads. The producer
+  // pipelines each shard's probe and release into the shard's mailbox
+  // (per-shard FIFO makes that safe); completions are counted by callback.
+  dmps::bench::table_header(
+      "ALG-FCM: parallel shard execution, strong scaling (16 shards, fixed "
+      "total degraded-arbitration load, workers = threads owning the shards)",
+      "mode      | workers | pairs_total | wall_ms | pairs_per_sec | "
+      "speedup_vs_seq | hw_threads");
+  const int total_pairs = ScalingWorld::kShards * ScalingWorld::kPairsPerShard;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double probe_qos = 0.6;
+
+  // Sequential baseline: the PR-4 sharded path, one thread doing it all.
+  double seq_wall_ms = 0.0;
+  {
+    ScalingWorld world;
+    ShardedFloorService service{world.registry, world.clock,
+                                Thresholds{0.25, 0.05}};
+    world.populate(
+        [&](HostId host, Resource capacity) { service.add_host(host, capacity); },
+        [&](const FloorRequest& r) { return service.request(r); });
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < ScalingWorld::kPairsPerShard; ++i) {
+      for (int h = 0; h < ScalingWorld::kShards; ++h) {
+        const auto d = service.request(world.make_request(
+            world.probers[static_cast<std::size_t>(h)],
+            world.hosts[static_cast<std::size_t>(h)], probe_qos));
+        if (d.outcome != Outcome::kGrantedDegraded) {
+          std::fprintf(stderr, "scaling probe not degraded: %s\n",
+                       d.reason.c_str());
+          std::abort();
+        }
+        service.release(world.probers[static_cast<std::size_t>(h)],
+                        world.group);
+      }
+    }
+    seq_wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    dmps::bench::row("%-9s | %7d | %11d | %7.1f | %13.0f | %14s | %10u",
+                     "seq", 1, total_pairs, seq_wall_ms,
+                     total_pairs / (seq_wall_ms / 1000.0), "1.00", hw);
+  }
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u, 16u}) {
+    ScalingWorld world;
+    ParallelShardedFloorService::Options options;
+    options.workers = workers;
+    ParallelShardedFloorService service{world.registry, world.clock,
+                                        Thresholds{0.25, 0.05}, options};
+    // Populate through the shards directly (setup phase, pre-start).
+    world.populate(
+        [&](HostId host, Resource capacity) { service.add_host(host, capacity); },
+        [&](const FloorRequest& r) { return service.shard(r.host)->request(r); });
+    service.start();
+
+    std::atomic<long> degraded{0};
+    std::atomic<long> other{0};
+    std::atomic<long> released{0};
+    const auto on_decision = [&](const Decision& d) {
+      if (d.outcome == Outcome::kGrantedDegraded) {
+        degraded.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        other.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    const auto on_release = [&](const ReleaseResult&) {
+      released.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    // Producers partition the shards (disjoint mailboxes keep per-shard
+    // FIFO), so op issue cost does not serialize the sweep at high worker
+    // counts the way one producer thread would.
+    const std::size_t producers = std::min<std::size_t>(workers, 4);
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> issue;
+      issue.reserve(producers);
+      for (std::size_t p = 0; p < producers; ++p) {
+        issue.emplace_back([&, p] {
+          for (int i = 0; i < ScalingWorld::kPairsPerShard; ++i) {
+            for (std::size_t h = p; h < ScalingWorld::kShards;
+                 h += producers) {
+              service.request(world.make_request(world.probers[h],
+                                                 world.hosts[h], probe_qos),
+                              on_decision);
+              service.release_on(world.hosts[h], world.probers[h],
+                                 world.group, on_release);
+            }
+          }
+        });
+      }
+      for (std::thread& thread : issue) thread.join();
+    }
+    service.drain();
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    // The load is only a measurement if every pair really ran the degraded
+    // path and came back.
+    if (degraded.load() != total_pairs || other.load() != 0 ||
+        released.load() != total_pairs || service.suspended_grants() != 0) {
+      std::fprintf(stderr,
+                   "parallel scaling invariant violated at workers=%zu "
+                   "(degraded=%ld other=%ld released=%ld suspended=%zu)\n",
+                   workers, degraded.load(), other.load(), released.load(),
+                   service.suspended_grants());
+      std::abort();
+    }
+    service.stop();
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2f", seq_wall_ms / wall_ms);
+    dmps::bench::row("%-9s | %7zu | %11d | %7.1f | %13.0f | %14s | %10u",
+                     "parallel", workers, total_pairs, wall_ms,
+                     total_pairs / (wall_ms / 1000.0), speedup, hw);
   }
 }
 
@@ -313,5 +546,6 @@ int main(int argc, char** argv) {
   throughput_scenario();
   degraded_sweep_scenario();
   sharded_sweep_scenario();
+  parallel_strong_scaling_scenario();
   return dmps::bench::run_micro(argc, argv, "bench_fcm_arbitrate");
 }

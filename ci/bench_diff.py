@@ -1,25 +1,40 @@
 #!/usr/bin/env python3
-"""Diff this run's BENCH_*.json files against the previous run's.
+"""Diff this run's BENCH_*.json files against the previous run's — and gate.
 
-Usage: bench_diff.py BASELINE_DIR CURRENT_DIR
+Usage:
+  bench_diff.py [--fail-threshold PCT] [--allow-noisy SUBSTRING]... \\
+                BASELINE_DIR CURRENT_DIR
 
 Emits a GitHub-flavored markdown report (pipe it into $GITHUB_STEP_SUMMARY):
 per bench, every micro result is compared by name on cpu_time, and scenario
 tables with a matching title/shape are compared cell by cell wherever both
 cells parse as numbers. Slowdowns beyond the threshold are flagged.
 
-Exit code is always 0: shared CI runners are too noisy for a hard perf gate;
-the report is for humans reading the job summary.
+Gating: with --fail-threshold the script exits non-zero when any micro
+cpu_time regresses beyond PCT, unless the micro's name contains one of
+the --allow-noisy substrings. Integrity failures gate too: a current-run
+BENCH json that is unparseable, or a baseline bench file with no
+current-run counterpart, fails the gate — those are exactly the
+whole-file failure modes a regression could hide behind.
+Scenario cells are reported but never gate — most scenario tables mix
+wall-clock columns with deterministic count columns, and the wall-clock
+ones are machine-load-dependent on shared runners; micros use cpu_time,
+which is stable enough to gate on. Without --fail-threshold the exit code
+is always 0 (report-only mode).
 """
 
+import argparse
 import json
 import os
 import sys
 
-REGRESSION_PCT = 25.0  # flag micro/cell slowdowns beyond this
+REPORT_PCT = 25.0  # report scenario-cell swings beyond this
 
 
-def load_benches(directory):
+def load_benches(directory, report, broken=None):
+    """Parse every BENCH_*.json under `directory`. Unparseable files are
+    reported and (when `broken` is given) collected — in gating mode a
+    truncated json must fail the gate, not silently skip its benches."""
     benches = {}
     if not os.path.isdir(directory):
         return benches
@@ -30,7 +45,9 @@ def load_benches(directory):
             with open(os.path.join(directory, name)) as f:
                 benches[name] = json.load(f)
         except (OSError, json.JSONDecodeError) as err:
-            print(f"> :warning: could not parse `{name}`: {err}")
+            report.append(f"> :warning: could not parse `{name}`: {err}")
+            if broken is not None:
+                broken.append(name)
     return benches
 
 
@@ -47,7 +64,13 @@ def pct(old, new):
     return (new - old) / old * 100.0
 
 
-def diff_micro(base, cur):
+def allowed(name, allow_noisy):
+    return any(sub in name for sub in allow_noisy)
+
+
+def diff_micro(base, cur, threshold, allow_noisy):
+    """Rows of (name, old, new, delta, flag); flag 'REGRESSION' gates unless
+    the micro name matches the allowlist (then 'noisy (allowed)')."""
     rows = []
     base_by_name = {m["name"]: m for m in base.get("micro", [])}
     for m in cur.get("micro", []):
@@ -56,7 +79,10 @@ def diff_micro(base, cur):
             rows.append((m["name"], None, m["cpu_time"], None, "new"))
             continue
         delta = pct(b["cpu_time"], m["cpu_time"])
-        flag = "REGRESSION" if delta > REGRESSION_PCT else ""
+        flag = ""
+        if delta > threshold:
+            flag = "noisy (allowed)" if allowed(m["name"], allow_noisy) \
+                else "REGRESSION"
         rows.append((m["name"], b["cpu_time"], m["cpu_time"], delta, flag))
     return rows
 
@@ -81,63 +107,107 @@ def diff_tables(base, cur):
                 delta = pct(bval, cval)
                 # Only time-like columns regress upward meaningfully; still
                 # report any large numeric swing so throughput drops show too.
-                if abs(delta) > REGRESSION_PCT:
+                if abs(delta) > REPORT_PCT:
                     column = table["columns"][c] if c < len(table["columns"]) else f"col{c}"
                     flagged.append((table["title"], r, column, bval, cval, delta))
     return flagged
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(__doc__)
-        return 0
-    baseline_dir, current_dir = sys.argv[1], sys.argv[2]
-    baseline = load_benches(baseline_dir)
-    current = load_benches(current_dir)
+def compare(baseline, current, threshold, allow_noisy):
+    """The unit-testable core: (report_lines, gating_regression_count).
 
-    print("## Bench diff vs previous run")
+    `baseline`/`current` map file name -> parsed BENCH json. A gating
+    regression is a micro cpu_time slowdown beyond `threshold` whose name
+    matches no allowlist substring.
+    """
+    report = []
+    report.append("## Bench diff vs previous run")
     if not baseline:
-        print()
-        print("_No baseline from a previous run (first run on this branch?);"
-              " nothing to diff._")
-        return 0
+        report.append("")
+        report.append("_No baseline from a previous run (first run on this"
+                      " branch?); nothing to diff._")
+        return report, 0
 
     regressions = 0
     for name, cur in current.items():
         base = baseline.get(name)
-        print(f"\n### `{name}`")
+        report.append(f"\n### `{name}`")
         if base is None:
-            print("_new bench, no baseline_")
+            report.append("_new bench, no baseline_")
             continue
-        micro = diff_micro(base, cur)
+        micro = diff_micro(base, cur, threshold, allow_noisy)
         if micro:
-            print("\n| micro | prev cpu | now cpu | delta | |")
-            print("|---|---:|---:|---:|---|")
+            report.append("\n| micro | prev cpu | now cpu | delta | |")
+            report.append("|---|---:|---:|---:|---|")
             for bench_name, old, new, delta, flag in micro:
                 if delta is None:
-                    print(f"| {bench_name} | — | {new:.1f} | — | {flag} |")
+                    report.append(f"| {bench_name} | — | {new:.1f} | — | {flag} |")
                 else:
                     regressions += flag == "REGRESSION"
-                    print(f"| {bench_name} | {old:.1f} | {new:.1f} | "
-                          f"{delta:+.1f}% | {flag} |")
+                    report.append(f"| {bench_name} | {old:.1f} | {new:.1f} | "
+                                  f"{delta:+.1f}% | {flag} |")
         cells = diff_tables(base, cur)
         if cells:
-            print("\n| scenario cell swings > "
-                  f"{REGRESSION_PCT:.0f}% | prev | now | delta |")
-            print("|---|---:|---:|---:|")
+            report.append("\n| scenario cell swings > "
+                          f"{REPORT_PCT:.0f}% (reported, never gated) "
+                          "| prev | now | delta |")
+            report.append("|---|---:|---:|---:|")
             for title, row, column, old, new, delta in cells:
-                print(f"| {title[:60]} · row {row} · {column} | {old:g} | "
-                      f"{new:g} | {delta:+.1f}% |")
+                report.append(f"| {title[:60]} · row {row} · {column} | "
+                              f"{old:g} | {new:g} | {delta:+.1f}% |")
+    # A bench file that existed in the baseline but produced nothing this
+    # run is an integrity failure, not a footnote: the regression it might
+    # hide is exactly the whole-file failure class.
     removed = sorted(set(baseline) - set(current))
     for name in removed:
-        print(f"\n_`{name}` existed in the previous run but not in this one._")
+        regressions += 1
+        report.append(f"\n**`{name}` existed in the previous run but"
+                      " produced no parseable output in this one — an"
+                      " integrity failure (fails the gate when"
+                      " --fail-threshold is set).**")
 
-    print()
+    report.append("")
     if regressions:
-        print(f"**{regressions} micro regression(s) beyond "
-              f"{REGRESSION_PCT:.0f}% — check before merging.**")
+        report.append(f"**{regressions} gating regression(s) (micro beyond "
+                      f"{threshold:.0f}% or missing bench output).**")
     else:
-        print("No micro regressions beyond the threshold.")
+        report.append("No gating micro regressions beyond the threshold.")
+    return report, regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json files and optionally gate on "
+                    "micro-benchmark regressions.")
+    parser.add_argument("baseline_dir")
+    parser.add_argument("current_dir")
+    parser.add_argument("--fail-threshold", type=float, default=None,
+                        metavar="PCT",
+                        help="exit non-zero when a micro cpu_time regresses "
+                             "more than PCT%% (default: report only)")
+    parser.add_argument("--allow-noisy", action="append", default=[],
+                        metavar="SUBSTRING",
+                        help="micro names containing SUBSTRING never gate "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    threshold = args.fail_threshold if args.fail_threshold is not None \
+        else REPORT_PCT
+    report = []
+    broken = []
+    baseline = load_benches(args.baseline_dir, report)
+    current = load_benches(args.current_dir, report, broken)
+    lines, regressions = compare(baseline, current, threshold,
+                                 args.allow_noisy)
+    for line in report + lines:
+        print(line)
+    # Broken files already present in the baseline were counted by
+    # compare()'s removed-file rule; only count the rest here.
+    failures = regressions + sum(1 for name in broken if name not in baseline)
+    if args.fail_threshold is not None and failures:
+        print(f"\nFAIL: {failures} regression(s)/integrity failure(s) — "
+              "gate tripped.", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench-regression gate in bench_diff.py.
+
+Run directly (python3 ci/test_bench_diff.py) or via ctest as
+`ci.bench_diff_unit`. Pure-dict fixtures: the comparison core takes parsed
+BENCH json, so no files are needed.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+
+def bench(micro=None, tables=None):
+    return {"bench": "b", "micro": micro or [], "tables": tables or []}
+
+
+def micro(name, cpu):
+    return {"name": name, "iterations": 1, "real_time": cpu, "cpu_time": cpu,
+            "time_unit": "ns"}
+
+
+def table(title, columns, rows):
+    return {"title": title, "columns": columns, "rows": rows}
+
+
+class CompareGating(unittest.TestCase):
+    def test_no_baseline_is_not_a_regression(self):
+        lines, regressions = bench_diff.compare(
+            {}, {"BENCH_x.json": bench()}, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("No baseline" in line for line in lines))
+
+    def test_micro_regression_beyond_threshold_gates(self):
+        base = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 100.0)])}
+        cur = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 130.0)])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 1)
+        self.assertTrue(any("REGRESSION" in line for line in lines))
+
+    def test_micro_within_threshold_passes(self):
+        base = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 100.0)])}
+        cur = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 124.0)])}
+        _, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+
+    def test_speedups_never_gate(self):
+        base = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 100.0)])}
+        cur = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 10.0)])}
+        _, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+
+    def test_allowlist_suppresses_gating_but_still_reports(self):
+        base = {"BENCH_x.json": bench(micro=[micro("BM_SessionEndToEnd", 100.0)])}
+        cur = {"BENCH_x.json": bench(micro=[micro("BM_SessionEndToEnd", 200.0)])}
+        lines, regressions = bench_diff.compare(
+            base, cur, 25.0, ["SessionEndToEnd"])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("noisy (allowed)" in line for line in lines))
+
+    def test_threshold_is_configurable(self):
+        base = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 100.0)])}
+        cur = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 120.0)])}
+        _, at_10 = bench_diff.compare(base, cur, 10.0, [])
+        _, at_25 = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(at_10, 1)
+        self.assertEqual(at_25, 0)
+
+    def test_new_and_removed_micros_do_not_gate(self):
+        base = {"BENCH_x.json": bench(micro=[micro("BM_Old", 50.0)])}
+        cur = {"BENCH_x.json": bench(micro=[micro("BM_New", 999.0)])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("new" in line for line in lines))
+
+    def test_scenario_cells_report_but_never_gate(self):
+        cols = ["n", "wall_ms"]
+        base = {"BENCH_x.json": bench(
+            tables=[table("t", cols, [["1", "10.0"]])])}
+        cur = {"BENCH_x.json": bench(
+            tables=[table("t", cols, [["1", "100.0"]])])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)  # reported only
+        self.assertTrue(any("wall_ms" in line and "+900.0%" in line
+                            for line in lines))
+
+    def test_removed_bench_file_gates(self):
+        base = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 50.0)]),
+                "BENCH_y.json": bench()}
+        cur = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 50.0)])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 1)
+        self.assertTrue(any("integrity failure" in line for line in lines))
+
+    def test_shape_mismatched_tables_are_skipped(self):
+        base = {"BENCH_x.json": bench(
+            tables=[table("t", ["a"], [["1.0"], ["2.0"]])])}
+        cur = {"BENCH_x.json": bench(
+            tables=[table("t", ["a"], [["900.0"]])])}  # row count changed
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertFalse(any("900" in line for line in lines))
+
+
+class MainExitCodes(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.base_dir = os.path.join(self.tmp.name, "base")
+        self.cur_dir = os.path.join(self.tmp.name, "cur")
+        os.mkdir(self.base_dir)
+        os.mkdir(self.cur_dir)
+        with open(os.path.join(self.base_dir, "BENCH_x.json"), "w") as f:
+            json.dump(bench(micro=[micro("BM_Hot", 100.0)]), f)
+        with open(os.path.join(self.cur_dir, "BENCH_x.json"), "w") as f:
+            json.dump(bench(micro=[micro("BM_Hot", 200.0)]), f)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_report_only_mode_always_exits_zero(self):
+        self.assertEqual(bench_diff.main([self.base_dir, self.cur_dir]), 0)
+
+    def test_fail_threshold_exits_nonzero_on_regression(self):
+        self.assertEqual(
+            bench_diff.main(["--fail-threshold", "25",
+                             self.base_dir, self.cur_dir]), 1)
+
+    def test_fail_threshold_with_allowlist_exits_zero(self):
+        self.assertEqual(
+            bench_diff.main(["--fail-threshold", "25", "--allow-noisy",
+                             "BM_Hot", self.base_dir, self.cur_dir]), 0)
+
+    def test_unparseable_current_json_fails_the_gate(self):
+        with open(os.path.join(self.cur_dir, "BENCH_x.json"), "w") as f:
+            f.write("{ truncated")
+        self.assertEqual(
+            bench_diff.main(["--fail-threshold", "25", "--allow-noisy",
+                             "BM_Hot", self.base_dir, self.cur_dir]), 1)
+        # Report-only mode still tolerates it.
+        self.assertEqual(bench_diff.main([self.base_dir, self.cur_dir]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,223 @@
+#pragma once
+// ParallelShardedFloorService: shard-per-thread floor arbitration.
+//
+// ShardedFloorService completed the paper's shape logically — one resource
+// manager (FloorService shard) per host station — but every shard still
+// arbitrated on the caller's thread. This facade executes shards
+// concurrently: each shard is owned by exactly one worker thread, and every
+// operation (request / release / cancel / sweep) is routed to the owning
+// shard's thread through a bounded MPSC mailbox. Producers never touch
+// shard state; workers never touch each other's shards.
+//
+// Execution model (DESIGN.md §5c):
+//   - One worker per shard by default; Options::workers can fold multiple
+//     shards onto fewer workers (shard i -> worker i % workers), which
+//     keeps per-shard FIFO intact — a shard's mailbox is its worker's.
+//   - Operations on one shard are LINEARIZED in mailbox arrival order; a
+//     producer that enqueues shard-addressed ops for the same host —
+//     request() then release_on() — sees them execute in that order.
+//     Across shards there is no global order, only the causal one
+//     producers impose by waiting. Holder-addressed release()/cancel()
+//     resolve their shards from the route map, which workers populate at
+//     accept time, so they additionally require the request's completion
+//     to have been observed first (see their comments).
+//   - Conference state reaches workers as immutable GroupSnapshots (the
+//     GroupRegistry epoch/publish mechanism); membership churn never blocks
+//     arbitration and never races it.
+//   - Results return through std::future or a completion callback invoked
+//     on the worker thread (the fproto-server-driving mode). Callbacks must
+//     be cheap and must not push blocking operations back into the service
+//     (a full mailbox would deadlock the worker behind its own callback).
+//   - Aggregates (active_grants() etc.) require quiescence: call drain()
+//     first, after producers stop. drain()'s mailbox handshake makes every
+//     worker write happen-before the read.
+//
+// Cross-shard release: a holder's (member, group) may hold grants on
+// several hosts. Routes are recorded by workers at accept time in a striped
+// route map and consumed by release(), which fans one sub-operation out to
+// each involved shard and merges the results (completion fires on the last
+// shard's worker). release_on()/sweep() are the single-shard fast paths.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "clock/drift_clock.hpp"
+#include "floor/service.hpp"
+#include "util/mpsc_mailbox.hpp"
+
+namespace dmps::floorctl {
+
+class ParallelShardedFloorService {
+ public:
+  struct Options {
+    /// Worker threads; 0 means one per shard (the default topology).
+    std::size_t workers = 0;
+    /// Bound of each worker's mailbox (backpressure: producers block).
+    std::size_t mailbox_capacity = 1024;
+  };
+
+  using DecisionCallback = std::function<void(const Decision&)>;
+  using ReleaseCallback = std::function<void(const ReleaseResult&)>;
+
+  ParallelShardedFloorService(const GroupRegistry& registry, clk::Clock& clock,
+                              resource::Thresholds thresholds);
+  ParallelShardedFloorService(const GroupRegistry& registry, clk::Clock& clock,
+                              resource::Thresholds thresholds, Options options);
+  ~ParallelShardedFloorService();
+  ParallelShardedFloorService(const ParallelShardedFloorService&) = delete;
+  ParallelShardedFloorService& operator=(const ParallelShardedFloorService&) =
+      delete;
+
+  /// Register a host station and its shard. Setup phase only: throws
+  /// std::logic_error once the service is running (a post-start shard-map
+  /// mutation would race every worker).
+  void add_host(HostId host, resource::Resource capacity);
+
+  /// Spawn the worker threads (after all add_host calls). Idempotent.
+  void start();
+  /// Wait until every mailbox is empty and every popped operation finished.
+  /// Call after producers stop; afterwards aggregate reads are safe.
+  void drain();
+  /// Close mailboxes (draining accepted work) and join the workers. The
+  /// lifecycle is one-shot: a stopped service cannot be restarted (its
+  /// closed mailboxes outlive stop() so racing producers are refused, not
+  /// crashed), and operations issued after stop() complete immediately
+  /// with a refusal.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // ------------------------------------------------- asynchronous surface
+  /// FCM-Arbitrate on the shard owning request.host; `done` runs on that
+  /// shard's worker thread.
+  void request(const FloorRequest& request, DecisionCallback done);
+  std::future<Decision> request(const FloorRequest& request);
+
+  /// Release everything `member` holds in `group` on every shard it was
+  /// routed to; results are merged and `done` runs once, on the worker
+  /// that finished last. PRECONDITION: the routes are recorded when a
+  /// shard *executes* the accepting request, so only call this after the
+  /// request's decision (future or callback) has been observed — a
+  /// release pipelined behind an un-awaited request finds no route and
+  /// releases nothing. Pipelining producers use release_on() instead.
+  void release(MemberId member, GroupId group, ReleaseCallback done);
+  std::future<ReleaseResult> release(MemberId member, GroupId group);
+
+  /// Shard-scoped release: only `host`'s shard. The fast path when the
+  /// caller knows where the grant lives (it requested there); enqueued
+  /// after a request to the same host, it is guaranteed to execute after
+  /// it (per-shard FIFO).
+  void release_on(HostId host, MemberId member, GroupId group,
+                  ReleaseCallback done);
+  std::future<ReleaseResult> release_on(HostId host, MemberId member,
+                                        GroupId group);
+
+  /// Drop the member's parked requests in `group` on every routed shard
+  /// (no grants touched), mirroring ShardedFloorService::cancel. Same
+  /// observed-decision precondition as release().
+  void cancel(MemberId member, GroupId group, ReleaseCallback done);
+  std::future<ReleaseResult> cancel(MemberId member, GroupId group);
+
+  /// Capacity-change hook on the shard owning `host`.
+  void sweep(HostId host, ReleaseCallback done);
+  std::future<ReleaseResult> sweep(HostId host);
+
+  // ------------------------------------------------------------ accessors
+  FloorService* shard(HostId host);
+  bool has_host(HostId host) const;
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t worker_count() const;
+  const resource::Thresholds& thresholds() const { return thresholds_; }
+
+  // Aggregates over every shard. Quiescent-state only: drain() first.
+  std::size_t active_grants() const;
+  std::size_t suspended_grants() const;
+  std::size_t grant_slots() const;
+  std::size_t queued_requests() const;
+  std::size_t queued_requests(GroupId group) const;
+
+ private:
+  struct FanOut;
+
+  struct Op {
+    enum class Kind : std::uint8_t { kRequest, kRelease, kCancel, kSweep };
+    Kind kind = Kind::kRequest;
+    FloorRequest request;  // kRequest only
+    MemberId member;
+    GroupId group;
+    HostId host;  // the shard this op executes on
+    DecisionCallback on_decision;
+    ReleaseCallback on_release;
+    std::shared_ptr<FanOut> fan;  // multi-shard release/cancel
+  };
+
+  /// Merges the per-shard results of a fanned-out release/cancel; the
+  /// completion runs when the last shard reports in.
+  struct FanOut {
+    std::mutex mu;
+    ReleaseResult merged;
+    std::size_t remaining = 0;
+    ReleaseCallback done;
+  };
+
+  struct Shard {
+    HostId host;
+    FloorService service;
+    std::size_t worker = 0;
+    Shard(HostId h, const GroupRegistry& registry, clk::Clock& clock,
+          resource::Thresholds thresholds)
+        : host(h), service(registry, clock, thresholds) {}
+  };
+
+  struct Worker {
+    util::MpscMailbox<Op> mailbox;
+    std::thread thread;
+    explicit Worker(std::size_t capacity) : mailbox(capacity) {}
+  };
+
+  static constexpr std::size_t kRouteStripes = 64;
+  struct RouteStripe {
+    std::mutex mu;
+    // holder (member, group) -> shards holding its grants or parked state.
+    std::unordered_map<std::uint64_t, std::vector<HostId>> routes;
+  };
+
+  void worker_main(std::size_t index);
+  void execute(Op& op);
+  void enqueue(Op op);
+  void refuse(Op& op);  // complete an op the service could not accept
+  void complete(Op& op, ReleaseResult&& result);
+  Shard* find_shard(HostId host);
+  const Shard* find_shard(HostId host) const;
+  RouteStripe& stripe(std::uint64_t key) {
+    return routes_[key % kRouteStripes];
+  }
+  void record_route(MemberId member, GroupId group, HostId host);
+  void drop_route(MemberId member, GroupId group, HostId host);
+  std::vector<HostId> take_routes(MemberId member, GroupId group);
+  std::vector<HostId> peek_routes(MemberId member, GroupId group);
+  /// Enqueue one release-shaped op per host, merging results through a
+  /// FanOut when several shards are involved.
+  void fan_out(Op::Kind kind, const std::vector<HostId>& hosts,
+               MemberId member, GroupId group, ReleaseCallback done);
+
+  const GroupRegistry& registry_;
+  clk::Clock& clock_;
+  resource::Thresholds thresholds_;
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // registration order
+  std::unordered_map<HostId::value_type, std::size_t> shard_index_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::array<RouteStripe, kRouteStripes> routes_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace dmps::floorctl

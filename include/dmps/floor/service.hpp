@@ -7,8 +7,21 @@
 // the chosen ArbitrationPolicy against the GrantStore it owns. Servers
 // (fproto::FloorServer), sessions and benches consume exactly this
 // interface and never see grant slots or policy internals; it is also the
-// per-shard surface ShardedFloorService federates (one FloorService per
-// host station).
+// per-shard surface ShardedFloorService and ParallelShardedFloorService
+// federate (one FloorService per host station).
+//
+// Conference state is read through immutable GroupSnapshots only. The
+// explicit `const GroupSnapshot&` overloads are the core: every request /
+// release / cancel runs against the snapshot it is handed. The
+// convenience overloads resolve the service's cached snapshot (refreshed
+// with one epoch probe when the registry moved) and delegate to them —
+// that is the path shard workers drive; callers that manage their own
+// snapshot (pinning one view across several operations) use the explicit
+// overloads directly. The service never mutates the registry, so a
+// FloorService is safe to drive from its own worker thread while
+// membership churns elsewhere — it simply keeps arbitrating against the
+// snapshot it read. The snapshot cache makes each instance single-owner:
+// exactly one thread may operate a given FloorService at a time.
 //
 // Freed capacity is handled through one capacity-change hook: sweep(host)
 // re-runs Media-Resume and queueing promotions on that host until a
@@ -19,6 +32,8 @@
 // changing capacity out of band (growing a live host) call it directly.
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 
 #include "clock/drift_clock.hpp"
 #include "floor/grant_store.hpp"
@@ -30,7 +45,7 @@ namespace dmps::floorctl {
 
 class FloorService {
  public:
-  FloorService(GroupRegistry& registry, clk::Clock& clock,
+  FloorService(const GroupRegistry& registry, clk::Clock& clock,
                resource::Thresholds thresholds);
 
   /// Register a host station and its capacity. Replaces any prior entry.
@@ -40,15 +55,22 @@ class FloorService {
   }
   bool has_host(HostId host) const { return store_.has_host(host); }
 
-  /// FCM-Arbitrate: decide one floor request under the group's discipline.
+  /// FCM-Arbitrate: decide one floor request under the group's discipline,
+  /// resolved against the given snapshot.
+  Decision request(const GroupSnapshot& snapshot, const FloorRequest& request);
+  /// Convenience: decide against the registry's latest snapshot.
   Decision request(const FloorRequest& request);
 
   /// Release every floor `member` holds in `group` and drop its parked
   /// requests, then sweep every host the release freed capacity on.
+  ReleaseResult release(const GroupSnapshot& snapshot, MemberId member,
+                        GroupId group);
   ReleaseResult release(MemberId member, GroupId group);
 
   /// Drop the member's parked (queued) requests in `group` without
   /// touching grants it holds; dropped requests appear in `dequeued`.
+  ReleaseResult cancel(const GroupSnapshot& snapshot, MemberId member,
+                       GroupId group);
   ReleaseResult cancel(MemberId member, GroupId group);
 
   /// Capacity-change hook: Media-Resume suspended holders and promote
@@ -71,8 +93,12 @@ class FloorService {
  private:
   ArbitrationPolicy& policy_for(const Group& group, FcmMode request_mode);
   void sweep_host(GrantStore::HostView& host, ReleaseResult& out);
+  /// The cached snapshot, refreshed when the registry's epoch moved. Owner-
+  /// thread only (one epoch probe per call, no shared_ptr churn).
+  const GroupSnapshot& refreshed_snapshot();
 
-  GroupRegistry& registry_;
+  const GroupRegistry& registry_;
+  std::shared_ptr<const GroupSnapshot> snapshot_;  // cache for refreshed_snapshot
   resource::Thresholds thresholds_;
   GrantStore store_;
   ThreeRegimePolicy three_regime_;

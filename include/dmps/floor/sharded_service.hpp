@@ -31,7 +31,7 @@ namespace dmps::floorctl {
 
 class ShardedFloorService {
  public:
-  ShardedFloorService(GroupRegistry& registry, clk::Clock& clock,
+  ShardedFloorService(const GroupRegistry& registry, clk::Clock& clock,
                       resource::Thresholds thresholds);
 
   /// Register a host station and its capacity. First sight of a host
@@ -71,9 +71,7 @@ class ShardedFloorService {
   std::size_t queued_requests(GroupId group) const;
 
  private:
-  static void merge(ReleaseResult& into, ReleaseResult&& from);
-
-  GroupRegistry& registry_;
+  const GroupRegistry& registry_;
   clk::Clock& clock_;
   resource::Thresholds thresholds_;
   // Ordered by host id: release fan-out and aggregates are deterministic.

@@ -99,4 +99,19 @@ struct ReleaseResult {
                                     // dropped without a grant
 };
 
+/// Fold one shard's release result into an accumulated one — the single
+/// merge rule every sharded facade (sequential or parallel) must share, so
+/// a new ReleaseResult field cannot be dropped by one facade and kept by
+/// the other.
+inline void merge_release_results(ReleaseResult& into, ReleaseResult&& from) {
+  into.released |= from.released;
+  into.resumed.insert(into.resumed.end(), from.resumed.begin(),
+                      from.resumed.end());
+  into.promoted.insert(into.promoted.end(),
+                       std::make_move_iterator(from.promoted.begin()),
+                       std::make_move_iterator(from.promoted.end()));
+  into.dequeued.insert(into.dequeued.end(), from.dequeued.begin(),
+                       from.dequeued.end());
+}
+
 }  // namespace dmps::floorctl

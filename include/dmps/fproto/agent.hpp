@@ -109,7 +109,7 @@ class FloorAgent {
   std::uint64_t acks_sent() const { return acks_sent_; }
 
  private:
-  void begin_op(AgentState next, MsgKind kind, std::vector<std::int64_t> ints);
+  void begin_op(AgentState next, MsgKind kind, net::Payload ints);
   void finish_op(AgentState next);
   void retry_tick();
   void handle_join_ack(const net::Message& msg);
@@ -140,7 +140,7 @@ class FloorAgent {
 
   // The in-flight operation's wire image, resent by the retry timer.
   net::MsgType outbound_type_;
-  std::vector<std::int64_t> outbound_ints_;
+  net::Payload outbound_ints_;
   int tries_ = 0;
   sim::EventId retry_event_ = 0;
 

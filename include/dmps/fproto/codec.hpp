@@ -130,20 +130,20 @@ struct ResumeAckMsg {
 
 // ------------------------------------------------------------ encode/decode
 
-std::vector<std::int64_t> encode(const JoinMsg& m);
-std::vector<std::int64_t> encode(const JoinAckMsg& m);
-std::vector<std::int64_t> encode(const LeaveMsg& m);
-std::vector<std::int64_t> encode(const LeaveAckMsg& m);
-std::vector<std::int64_t> encode(const RequestMsg& m);
-std::vector<std::int64_t> encode(const GrantMsg& m);
-std::vector<std::int64_t> encode(const DenyMsg& m);
-std::vector<std::int64_t> encode(const QueuedMsg& m);
-std::vector<std::int64_t> encode(const ReleaseMsg& m);
-std::vector<std::int64_t> encode(const ReleaseAckMsg& m);
-std::vector<std::int64_t> encode(const SuspendMsg& m);
-std::vector<std::int64_t> encode(const SuspendAckMsg& m);
-std::vector<std::int64_t> encode(const ResumeMsg& m);
-std::vector<std::int64_t> encode(const ResumeAckMsg& m);
+net::Payload encode(const JoinMsg& m);
+net::Payload encode(const JoinAckMsg& m);
+net::Payload encode(const LeaveMsg& m);
+net::Payload encode(const LeaveAckMsg& m);
+net::Payload encode(const RequestMsg& m);
+net::Payload encode(const GrantMsg& m);
+net::Payload encode(const DenyMsg& m);
+net::Payload encode(const QueuedMsg& m);
+net::Payload encode(const ReleaseMsg& m);
+net::Payload encode(const ReleaseAckMsg& m);
+net::Payload encode(const SuspendMsg& m);
+net::Payload encode(const SuspendAckMsg& m);
+net::Payload encode(const ResumeMsg& m);
+net::Payload encode(const ResumeAckMsg& m);
 
 std::optional<JoinMsg> decode_join(const net::Message& msg);
 std::optional<JoinAckMsg> decode_join_ack(const net::Message& msg);

@@ -85,7 +85,7 @@ class FloorServer {
  private:
   struct DecisionRecord {
     MsgKind reply_kind = MsgKind::kDeny;
-    std::vector<std::int64_t> reply_ints;
+    net::Payload reply_ints;
     bool released = false;  // the grant has since been given back
   };
   /// Per-member request history: record ids still alive (their seqs are
@@ -125,7 +125,7 @@ class FloorServer {
   struct Notify {
     net::NodeId node;
     MsgKind kind = MsgKind::kSuspend;
-    std::vector<std::int64_t> ints;
+    net::Payload ints;
     int tries = 1;
     sim::EventId retry_event = 0;
   };

@@ -24,6 +24,7 @@
 #include "util/duration.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
+#include "util/small_vec.hpp"
 
 namespace dmps::net {
 
@@ -49,13 +50,21 @@ struct LinkQuality {
   double loss = 0.0;
 };
 
+/// Wire payload: int64 lanes with inline storage. Every control-plane kind
+/// this library models fits the inline capacity (clock sync uses <= 3
+/// lanes, the largest of the 14 fproto kinds — fp.request — uses 8), so a
+/// delivery on the hot path allocates nothing; bigger payloads spill to the
+/// heap transparently.
+inline constexpr std::size_t kInlinePayloadLanes = 8;
+using Payload = util::SmallVec<std::int64_t, kInlinePayloadLanes>;
+
 /// A datagram. `ints` is the wire payload — enough for the control-plane
 /// protocols this library models (clock sync, floor signalling).
 struct Message {
   NodeId from;
   NodeId to;
   MsgType type;
-  std::vector<std::int64_t> ints;
+  Payload ints;
 };
 
 class Demux;
@@ -126,7 +135,7 @@ class Demux {
   void off(MsgType type);
 
   /// Convenience: send from this node.
-  void send(NodeId to, MsgType type, std::vector<std::int64_t> ints);
+  void send(NodeId to, MsgType type, Payload ints);
 
  private:
   friend class SimNetwork;

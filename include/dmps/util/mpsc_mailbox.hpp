@@ -1,0 +1,124 @@
+#pragma once
+// MpscMailbox: a bounded multi-producer / single-consumer mailbox.
+//
+// The handoff primitive of the parallel floor-control path: any number of
+// producer threads push operations, one worker thread pops and executes
+// them in arrival order. The bound is backpressure, not a drop policy —
+// push() blocks while the mailbox is full, so a burst of producers cannot
+// grow the queue without limit; FIFO order is the consumer-side contract
+// the floor queues' arrival-order rule rides on.
+//
+// Shutdown and quiescence are first-class:
+//   close()     — producers get `false` from then on; the consumer drains
+//                 what was already accepted, then pop() returns nullopt.
+//   mark_done() — the consumer reports one popped item fully processed;
+//                 pop() alone only proves the item left the queue.
+//   wait_idle() — blocks until the queue is empty AND every popped item was
+//                 mark_done()'d. Because the wait happens under the same
+//                 mutex the consumer signals through, everything the
+//                 consumer wrote while processing happens-before the return
+//                 — callers may read consumer-owned state afterwards.
+//
+// Plain mutex + condition variables, deliberately: the floor shards behind
+// this mailbox do microseconds of work per message, so a lock-free ring
+// would buy nothing measurable and cost ThreadSanitizer its visibility.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dmps::util {
+
+template <typename T>
+class MpscMailbox {
+ public:
+  explicit MpscMailbox(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  MpscMailbox(const MpscMailbox&) = delete;
+  MpscMailbox& operator=(const MpscMailbox&) = delete;
+
+  /// Producer: enqueue, blocking while the mailbox is full. Returns false
+  /// once the mailbox is closed — `item` is then left untouched, so the
+  /// caller can still complete or refuse it instead of losing it.
+  bool push(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    // Single consumer: it can only be waiting when it saw the queue empty,
+    // so only the empty -> non-empty transition needs a wakeup.
+    if (items_.size() == 1) not_empty_.notify_one();
+    return true;
+  }
+
+  /// Producer: enqueue only if there is room right now (same no-move-on-
+  /// failure guarantee as push).
+  bool try_push(T&& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() == 1) not_empty_.notify_one();
+    return true;
+  }
+
+  /// Consumer: dequeue the oldest item, blocking while empty. Returns
+  /// nullopt once the mailbox is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++in_flight_;
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Consumer: one previously popped item is fully processed.
+  void mark_done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--in_flight_ == 0 && items_.empty()) idle_.notify_all();
+  }
+
+  /// Block until the queue is empty and no popped item is still being
+  /// processed. Only meaningful once producers have stopped pushing.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [&] { return items_.empty() && in_flight_ == 0; });
+  }
+
+  /// Reject producers from now on; the consumer drains what was accepted.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable idle_;
+  std::deque<T> items_;
+  std::size_t in_flight_ = 0;  // popped but not yet mark_done()'d
+  bool closed_ = false;
+};
+
+}  // namespace dmps::util

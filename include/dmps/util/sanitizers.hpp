@@ -1,0 +1,29 @@
+#pragma once
+// Compile-time sanitizer detection, shared by benches and tests that
+// scale their workloads down under instrumentation (TSan/ASan multiply
+// the cost of every memory access ~10x). One copy of the compiler dance:
+// GCC defines __SANITIZE_THREAD__/__SANITIZE_ADDRESS__, clang answers
+// through __has_feature.
+//
+//   DMPS_SANITIZER_THREAD   — building under ThreadSanitizer
+//   DMPS_SANITIZER_ADDRESS  — building under AddressSanitizer
+//   DMPS_SANITIZED          — either of the above
+
+#if defined(__SANITIZE_THREAD__)
+#define DMPS_SANITIZER_THREAD 1
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define DMPS_SANITIZER_ADDRESS 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DMPS_SANITIZER_THREAD 1
+#endif
+#if __has_feature(address_sanitizer)
+#define DMPS_SANITIZER_ADDRESS 1
+#endif
+#endif
+
+#if defined(DMPS_SANITIZER_THREAD) || defined(DMPS_SANITIZER_ADDRESS)
+#define DMPS_SANITIZED 1
+#endif

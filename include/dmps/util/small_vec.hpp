@@ -1,0 +1,153 @@
+#pragma once
+// SmallVec: a vector with inline storage for small element counts.
+//
+// The control-plane payloads this library moves (clock-sync probes, fproto
+// floor signalling) are a handful of int64 lanes each, yet every delivery
+// used to heap-allocate a std::vector — the federation scenario alone moves
+// millions of messages per run. SmallVec keeps up to N elements in the
+// object itself and only spills to the heap beyond that, so the common
+// small-message path allocates nothing.
+//
+// Restricted to trivially copyable element types: growth and copies are
+// memcpy-class operations, moves of inline payloads copy N elements (cheap
+// for the small N this is built for), and destruction never runs element
+// destructors.
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <type_traits>
+
+namespace dmps::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for trivially copyable payload elements");
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    std::copy(init.begin(), init.end(), data());
+    size_ = init.size();
+  }
+
+  SmallVec(const SmallVec& other) {
+    reserve(other.size_);
+    std::copy(other.begin(), other.end(), data());
+    size_ = other.size_;
+  }
+
+  SmallVec(SmallVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      std::copy(other.begin(), other.end(), inline_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    std::copy(other.begin(), other.end(), data());
+    size_ = other.size_;
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = N;
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      std::copy(other.begin(), other.end(), inline_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~SmallVec() { delete[] heap_; }
+
+  void push_back(T value) {
+    if (size_ == cap_) reserve(cap_ * 2);
+    data()[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }  // storage (inline or heap) is kept
+
+  void reserve(std::size_t need) {
+    if (need <= cap_) return;
+    std::size_t cap = cap_;
+    while (cap < need) cap *= 2;
+    T* heap = new T[cap];
+    std::copy(begin(), end(), heap);
+    delete[] heap_;
+    heap_ = heap;
+    cap_ = cap;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+  /// True while the payload still lives in the object itself (no heap).
+  bool inline_storage() const { return heap_ == nullptr; }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("SmallVec::at");
+    return data()[i];
+  }
+  const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("SmallVec::at");
+    return data()[i];
+  }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+
+ private:
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace dmps::util

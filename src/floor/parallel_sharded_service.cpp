@@ -1,0 +1,391 @@
+#include "floor/parallel_sharded_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dmps::floorctl {
+
+ParallelShardedFloorService::ParallelShardedFloorService(
+    const GroupRegistry& registry, clk::Clock& clock,
+    resource::Thresholds thresholds)
+    : ParallelShardedFloorService(registry, clock, thresholds, Options{}) {}
+
+ParallelShardedFloorService::ParallelShardedFloorService(
+    const GroupRegistry& registry, clk::Clock& clock,
+    resource::Thresholds thresholds, Options options)
+    : registry_(registry),
+      clock_(clock),
+      thresholds_(thresholds),
+      options_(options) {}
+
+ParallelShardedFloorService::~ParallelShardedFloorService() { stop(); }
+
+void ParallelShardedFloorService::add_host(HostId host,
+                                           resource::Resource capacity) {
+  // Runtime refusal, not an assert: in a Release build a silent post-
+  // start() mutation of the shard map would race every worker's
+  // find_shard().
+  if (running()) {
+    throw std::logic_error(
+        "ParallelShardedFloorService::add_host is setup-phase only "
+        "(call before start())");
+  }
+  auto it = shard_index_.find(host.value());
+  if (it == shard_index_.end()) {
+    shard_index_.emplace(host.value(), shards_.size());
+    shards_.push_back(
+        std::make_unique<Shard>(host, registry_, clock_, thresholds_));
+    it = shard_index_.find(host.value());
+  }
+  shards_[it->second]->service.add_host(host, capacity);
+}
+
+std::size_t ParallelShardedFloorService::worker_count() const {
+  if (options_.workers == 0) return shards_.size();
+  return std::min(options_.workers, shards_.size());
+}
+
+void ParallelShardedFloorService::start() {
+  // One-shot lifecycle: workers_ persists after stop() (see there), so a
+  // stopped service cannot be restarted.
+  if (running() || shards_.empty() || !workers_.empty()) return;
+  const std::size_t workers = worker_count();
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(options_.mailbox_capacity));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->worker = s % workers;
+  }
+  running_.store(true, std::memory_order_release);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_[w]->thread = std::thread([this, w] { worker_main(w); });
+  }
+}
+
+void ParallelShardedFloorService::drain() {
+  for (auto& worker : workers_) worker->mailbox.wait_idle();
+}
+
+void ParallelShardedFloorService::stop() {
+  if (!running()) return;
+  for (auto& worker : workers_) worker->mailbox.close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // The workers (and their now-closed mailboxes) stay allocated until
+  // destruction: a producer racing stop() past its running() check must
+  // land on a closed mailbox (push -> false -> refuse), never on freed
+  // memory. The service is one-shot — start() after stop() is a no-op.
+  running_.store(false, std::memory_order_release);
+}
+
+void ParallelShardedFloorService::worker_main(std::size_t index) {
+  Worker& worker = *workers_[index];
+  while (auto op = worker.mailbox.pop()) {
+    execute(*op);
+    worker.mailbox.mark_done();
+  }
+}
+
+ParallelShardedFloorService::Shard* ParallelShardedFloorService::find_shard(
+    HostId host) {
+  const auto it = shard_index_.find(host.value());
+  return it != shard_index_.end() ? shards_[it->second].get() : nullptr;
+}
+
+const ParallelShardedFloorService::Shard*
+ParallelShardedFloorService::find_shard(HostId host) const {
+  const auto it = shard_index_.find(host.value());
+  return it != shard_index_.end() ? shards_[it->second].get() : nullptr;
+}
+
+FloorService* ParallelShardedFloorService::shard(HostId host) {
+  Shard* owner = find_shard(host);
+  return owner != nullptr ? &owner->service : nullptr;
+}
+
+bool ParallelShardedFloorService::has_host(HostId host) const {
+  return shard_index_.find(host.value()) != shard_index_.end();
+}
+
+void ParallelShardedFloorService::record_route(MemberId member, GroupId group,
+                                               HostId host) {
+  const std::uint64_t key = holder_key(member, group);
+  RouteStripe& s = stripe(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& hosts = s.routes[key];
+  if (std::find(hosts.begin(), hosts.end(), host) == hosts.end()) {
+    hosts.push_back(host);
+  }
+}
+
+void ParallelShardedFloorService::drop_route(MemberId member, GroupId group,
+                                             HostId host) {
+  const std::uint64_t key = holder_key(member, group);
+  RouteStripe& s = stripe(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.routes.find(key);
+  if (it == s.routes.end()) return;
+  auto& hosts = it->second;
+  hosts.erase(std::remove(hosts.begin(), hosts.end(), host), hosts.end());
+  if (hosts.empty()) s.routes.erase(it);
+}
+
+std::vector<HostId> ParallelShardedFloorService::take_routes(MemberId member,
+                                                             GroupId group) {
+  const std::uint64_t key = holder_key(member, group);
+  RouteStripe& s = stripe(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.routes.find(key);
+  if (it == s.routes.end()) return {};
+  std::vector<HostId> hosts = std::move(it->second);
+  s.routes.erase(it);
+  return hosts;
+}
+
+std::vector<HostId> ParallelShardedFloorService::peek_routes(MemberId member,
+                                                             GroupId group) {
+  const std::uint64_t key = holder_key(member, group);
+  RouteStripe& s = stripe(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.routes.find(key);
+  return it != s.routes.end() ? it->second : std::vector<HostId>{};
+}
+
+void ParallelShardedFloorService::enqueue(Op op) {
+  Shard* owner = find_shard(op.host);
+  assert(owner != nullptr);  // callers validate the host first
+  // Refuse rather than drop when the service is not running (never
+  // started, or racing stop()): a silently dropped op would leave its
+  // future unfulfilled forever. push() leaves the op intact on failure.
+  if (running() && workers_[owner->worker]->mailbox.push(std::move(op))) {
+    return;
+  }
+  refuse(op);
+}
+
+void ParallelShardedFloorService::refuse(Op& op) {
+  if (op.kind == Op::Kind::kRequest) {
+    Decision decision;
+    decision.reason = "floor service is not running";
+    if (op.on_decision) op.on_decision(decision);
+    return;
+  }
+  complete(op, ReleaseResult{});
+}
+
+void ParallelShardedFloorService::complete(Op& op, ReleaseResult&& result) {
+  if (op.fan != nullptr) {
+    FanOut& fan = *op.fan;
+    ReleaseCallback done;
+    {
+      std::lock_guard<std::mutex> lock(fan.mu);
+      merge_release_results(fan.merged, std::move(result));
+      if (--fan.remaining == 0) done = std::move(fan.done);
+    }
+    if (done) done(fan.merged);
+    return;
+  }
+  if (op.on_release) op.on_release(result);
+}
+
+void ParallelShardedFloorService::execute(Op& op) {
+  Shard* owner = find_shard(op.host);
+  switch (op.kind) {
+    case Op::Kind::kRequest: {
+      const Decision decision = owner->service.request(op.request);
+      if (decision.outcome == Outcome::kGranted ||
+          decision.outcome == Outcome::kGrantedDegraded ||
+          decision.outcome == Outcome::kQueued) {
+        record_route(op.request.member, op.request.group, op.host);
+      }
+      if (op.on_decision) op.on_decision(decision);
+      return;
+    }
+    case Op::Kind::kRelease: {
+      ReleaseResult result = owner->service.release(op.member, op.group);
+      // This shard no longer holds anything for the holder (grants and
+      // parked requests alike were dropped).
+      drop_route(op.member, op.group, op.host);
+      complete(op, std::move(result));
+      return;
+    }
+    case Op::Kind::kCancel: {
+      // Routes survive cancel: the member may still hold a grant here
+      // (cancel drops parked state only), mirroring the sequential facade.
+      complete(op, owner->service.cancel(op.member, op.group));
+      return;
+    }
+    case Op::Kind::kSweep: {
+      complete(op, owner->service.sweep(op.host));
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Wrap a callback-taking async operation into a std::future: the one
+/// completion-adapter all five future overloads share.
+template <typename Result, typename Invoke>
+std::future<Result> via_future(Invoke&& invoke) {
+  auto promise = std::make_shared<std::promise<Result>>();
+  std::future<Result> result = promise->get_future();
+  invoke([promise](const Result& value) { promise->set_value(value); });
+  return result;
+}
+
+}  // namespace
+
+void ParallelShardedFloorService::request(const FloorRequest& request,
+                                          DecisionCallback done) {
+  if (find_shard(request.host) == nullptr) {
+    Decision decision;
+    decision.reason = "unknown host station";
+    if (done) done(decision);
+    return;
+  }
+  Op op;
+  op.kind = Op::Kind::kRequest;
+  op.request = request;
+  op.host = request.host;
+  op.on_decision = std::move(done);
+  enqueue(std::move(op));
+}
+
+std::future<Decision> ParallelShardedFloorService::request(
+    const FloorRequest& request) {
+  return via_future<Decision>(
+      [&](DecisionCallback done) { this->request(request, std::move(done)); });
+}
+
+void ParallelShardedFloorService::fan_out(Op::Kind kind,
+                                          const std::vector<HostId>& hosts,
+                                          MemberId member, GroupId group,
+                                          ReleaseCallback done) {
+  if (hosts.empty()) {
+    if (done) done(ReleaseResult{});
+    return;
+  }
+  std::shared_ptr<FanOut> fan;
+  if (hosts.size() > 1) {
+    fan = std::make_shared<FanOut>();
+    fan->remaining = hosts.size();
+    fan->done = std::move(done);
+  }
+  for (const HostId host : hosts) {
+    Op op;
+    op.kind = kind;
+    op.member = member;
+    op.group = group;
+    op.host = host;
+    if (fan != nullptr) {
+      op.fan = fan;
+    } else {
+      op.on_release = std::move(done);
+    }
+    enqueue(std::move(op));
+  }
+}
+
+void ParallelShardedFloorService::release(MemberId member, GroupId group,
+                                          ReleaseCallback done) {
+  fan_out(Op::Kind::kRelease, take_routes(member, group), member, group,
+          std::move(done));
+}
+
+std::future<ReleaseResult> ParallelShardedFloorService::release(
+    MemberId member, GroupId group) {
+  return via_future<ReleaseResult>(
+      [&](ReleaseCallback done) { release(member, group, std::move(done)); });
+}
+
+void ParallelShardedFloorService::release_on(HostId host, MemberId member,
+                                             GroupId group,
+                                             ReleaseCallback done) {
+  if (find_shard(host) == nullptr) {
+    if (done) done(ReleaseResult{});
+    return;
+  }
+  Op op;
+  op.kind = Op::Kind::kRelease;
+  op.member = member;
+  op.group = group;
+  op.host = host;
+  op.on_release = std::move(done);
+  enqueue(std::move(op));
+}
+
+std::future<ReleaseResult> ParallelShardedFloorService::release_on(
+    HostId host, MemberId member, GroupId group) {
+  return via_future<ReleaseResult>([&](ReleaseCallback done) {
+    release_on(host, member, group, std::move(done));
+  });
+}
+
+void ParallelShardedFloorService::cancel(MemberId member, GroupId group,
+                                         ReleaseCallback done) {
+  // Routes survive cancel (it drops parked state, not grants): peek.
+  fan_out(Op::Kind::kCancel, peek_routes(member, group), member, group,
+          std::move(done));
+}
+
+std::future<ReleaseResult> ParallelShardedFloorService::cancel(MemberId member,
+                                                               GroupId group) {
+  return via_future<ReleaseResult>(
+      [&](ReleaseCallback done) { cancel(member, group, std::move(done)); });
+}
+
+void ParallelShardedFloorService::sweep(HostId host, ReleaseCallback done) {
+  if (find_shard(host) == nullptr) {
+    if (done) done(ReleaseResult{});
+    return;
+  }
+  Op op;
+  op.kind = Op::Kind::kSweep;
+  op.host = host;
+  op.on_release = std::move(done);
+  enqueue(std::move(op));
+}
+
+std::future<ReleaseResult> ParallelShardedFloorService::sweep(HostId host) {
+  return via_future<ReleaseResult>(
+      [&](ReleaseCallback done) { sweep(host, std::move(done)); });
+}
+
+std::size_t ParallelShardedFloorService::active_grants() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->service.active_grants();
+  return total;
+}
+
+std::size_t ParallelShardedFloorService::suspended_grants() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->service.suspended_grants();
+  return total;
+}
+
+std::size_t ParallelShardedFloorService::grant_slots() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->service.grant_slots();
+  return total;
+}
+
+std::size_t ParallelShardedFloorService::queued_requests() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->service.queued_requests();
+  return total;
+}
+
+std::size_t ParallelShardedFloorService::queued_requests(GroupId group) const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->service.queued_requests(group);
+  }
+  return total;
+}
+
+}  // namespace dmps::floorctl

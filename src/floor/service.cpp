@@ -2,7 +2,7 @@
 
 namespace dmps::floorctl {
 
-FloorService::FloorService(GroupRegistry& registry, clk::Clock& clock,
+FloorService::FloorService(const GroupRegistry& registry, clk::Clock& clock,
                            resource::Thresholds thresholds)
     : registry_(registry),
       thresholds_(thresholds),
@@ -14,6 +14,14 @@ FloorService::FloorService(GroupRegistry& registry, clk::Clock& clock,
 
 void FloorService::add_host(HostId host, resource::Resource capacity) {
   store_.add_host(host, capacity);
+}
+
+const GroupSnapshot& FloorService::refreshed_snapshot() {
+  const std::uint64_t epoch = registry_.epoch();
+  if (snapshot_ == nullptr || snapshot_->epoch != epoch) {
+    snapshot_ = registry_.snapshot();
+  }
+  return *snapshot_;
 }
 
 ArbitrationPolicy& FloorService::policy_for(const Group& group,
@@ -31,9 +39,14 @@ ArbitrationPolicy& FloorService::policy_for(const Group& group,
 }
 
 Decision FloorService::request(const FloorRequest& request) {
+  return this->request(refreshed_snapshot(), request);
+}
+
+Decision FloorService::request(const GroupSnapshot& snapshot,
+                               const FloorRequest& request) {
   Decision decision;
-  if (!registry_.has_member(request.member) ||
-      !registry_.in_group(request.member, request.group)) {
+  if (!snapshot.has_member(request.member) ||
+      !snapshot.in_group(request.member, request.group)) {
     decision.reason = "requester is not a member of the group";
     return decision;
   }
@@ -42,14 +55,19 @@ Decision FloorService::request(const FloorRequest& request) {
     decision.reason = "unknown host station";
     return decision;
   }
-  const Group& group = registry_.group(request.group);
+  const Group& group = snapshot.group(request.group);
   RequestContext ctx;
-  ctx.priority = registry_.member(request.member).priority;
+  ctx.priority = snapshot.member(request.member).priority;
   ctx.chair = group.chair;
   return policy_for(group, request.mode).decide(request, ctx, *host);
 }
 
 ReleaseResult FloorService::release(MemberId member, GroupId group) {
+  return release(refreshed_snapshot(), member, group);
+}
+
+ReleaseResult FloorService::release(const GroupSnapshot& snapshot,
+                                    MemberId member, GroupId group) {
   ReleaseResult result;
   const GrantStore::HolderRelease freed = store_.release_holder(member, group);
   result.released = freed.released;
@@ -58,9 +76,9 @@ ReleaseResult FloorService::release(MemberId member, GroupId group) {
   // capacity, but it can unblock fitting entries parked behind it, and no
   // later release would ever sweep there for them.
   std::vector<HostId> hosts = freed.freed_hosts;
-  if (registry_.has_group(group)) {
+  if (snapshot.has_group(group)) {
     // A releasing (or leaving) member abandons its parked requests too.
-    policy_for(registry_.group(group), FcmMode::kFreeAccess)
+    policy_for(snapshot.group(group), FcmMode::kFreeAccess)
         .cancel(member, group, result, hosts);
   }
   for (const HostId host_id : hosts) {
@@ -71,10 +89,15 @@ ReleaseResult FloorService::release(MemberId member, GroupId group) {
 }
 
 ReleaseResult FloorService::cancel(MemberId member, GroupId group) {
+  return cancel(refreshed_snapshot(), member, group);
+}
+
+ReleaseResult FloorService::cancel(const GroupSnapshot& snapshot,
+                                   MemberId member, GroupId group) {
   ReleaseResult result;
-  if (!registry_.has_group(group)) return result;
+  if (!snapshot.has_group(group)) return result;
   std::vector<HostId> hosts;
-  policy_for(registry_.group(group), FcmMode::kFreeAccess)
+  policy_for(snapshot.group(group), FcmMode::kFreeAccess)
       .cancel(member, group, result, hosts);
   for (const HostId host_id : hosts) {
     auto host = store_.view(host_id);

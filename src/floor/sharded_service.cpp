@@ -5,7 +5,7 @@
 
 namespace dmps::floorctl {
 
-ShardedFloorService::ShardedFloorService(GroupRegistry& registry,
+ShardedFloorService::ShardedFloorService(const GroupRegistry& registry,
                                          clk::Clock& clock,
                                          resource::Thresholds thresholds)
     : registry_(registry), clock_(clock), thresholds_(thresholds) {}
@@ -52,17 +52,6 @@ Decision ShardedFloorService::request(const FloorRequest& request) {
   return decision;
 }
 
-void ShardedFloorService::merge(ReleaseResult& into, ReleaseResult&& from) {
-  into.released |= from.released;
-  into.resumed.insert(into.resumed.end(), from.resumed.begin(),
-                      from.resumed.end());
-  into.promoted.insert(into.promoted.end(),
-                       std::make_move_iterator(from.promoted.begin()),
-                       std::make_move_iterator(from.promoted.end()));
-  into.dequeued.insert(into.dequeued.end(), from.dequeued.begin(),
-                       from.dequeued.end());
-}
-
 ReleaseResult ShardedFloorService::release(MemberId member, GroupId group) {
   ReleaseResult result;
   const auto route = routes_.find(holder_key(member, group));
@@ -71,7 +60,7 @@ ReleaseResult ShardedFloorService::release(MemberId member, GroupId group) {
   routes_.erase(route);
   for (const HostId host : hosts) {
     if (FloorService* owner = shard(host)) {
-      merge(result, owner->release(member, group));
+      merge_release_results(result, owner->release(member, group));
     }
   }
   return result;
@@ -83,7 +72,7 @@ ReleaseResult ShardedFloorService::cancel(MemberId member, GroupId group) {
   if (route == routes_.end()) return result;
   for (const HostId host : route->second) {
     if (FloorService* owner = shard(host)) {
-      merge(result, owner->cancel(member, group));
+      merge_release_results(result, owner->cancel(member, group));
     }
   }
   // The route survives only if the member still holds an actual grant

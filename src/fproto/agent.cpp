@@ -114,7 +114,7 @@ bool FloorAgent::leave() {
 }
 
 void FloorAgent::begin_op(AgentState next, MsgKind kind,
-                          std::vector<std::int64_t> ints) {
+                          net::Payload ints) {
   state_ = next;
   outbound_type_ = wire_type(kind);
   outbound_ints_ = std::move(ints);

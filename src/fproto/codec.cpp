@@ -82,23 +82,23 @@ net::MsgType wire_type(MsgKind kind) {
   return types[static_cast<int>(kind)];
 }
 
-std::vector<std::int64_t> encode(const JoinMsg& m) {
+net::Payload encode(const JoinMsg& m) {
   return {pack_id(m.member), pack_id(m.group)};
 }
 
-std::vector<std::int64_t> encode(const JoinAckMsg& m) {
+net::Payload encode(const JoinAckMsg& m) {
   return {pack_id(m.member), pack_id(m.group), m.accepted ? 1 : 0};
 }
 
-std::vector<std::int64_t> encode(const LeaveMsg& m) {
+net::Payload encode(const LeaveMsg& m) {
   return {pack_id(m.member), pack_id(m.group)};
 }
 
-std::vector<std::int64_t> encode(const LeaveAckMsg& m) {
+net::Payload encode(const LeaveAckMsg& m) {
   return {pack_id(m.member), pack_id(m.group), m.accepted ? 1 : 0};
 }
 
-std::vector<std::int64_t> encode(const RequestMsg& m) {
+net::Payload encode(const RequestMsg& m) {
   return {pack_u64(m.request_id),
           pack_id(m.member),
           pack_id(m.group),
@@ -109,40 +109,40 @@ std::vector<std::int64_t> encode(const RequestMsg& m) {
           pack_double(m.qos.memory)};
 }
 
-std::vector<std::int64_t> encode(const GrantMsg& m) {
+net::Payload encode(const GrantMsg& m) {
   return {pack_u64(m.request_id), m.degraded ? 1 : 0, pack_double(m.availability)};
 }
 
-std::vector<std::int64_t> encode(const DenyMsg& m) {
+net::Payload encode(const DenyMsg& m) {
   return {pack_u64(m.request_id),
           m.outcome == floorctl::Outcome::kAborted ? 1 : 0};
 }
 
-std::vector<std::int64_t> encode(const QueuedMsg& m) {
+net::Payload encode(const QueuedMsg& m) {
   return {pack_u64(m.request_id)};
 }
 
-std::vector<std::int64_t> encode(const ReleaseMsg& m) {
+net::Payload encode(const ReleaseMsg& m) {
   return {pack_u64(m.request_id), pack_id(m.member), pack_id(m.group)};
 }
 
-std::vector<std::int64_t> encode(const ReleaseAckMsg& m) {
+net::Payload encode(const ReleaseAckMsg& m) {
   return {pack_u64(m.request_id)};
 }
 
-std::vector<std::int64_t> encode(const SuspendMsg& m) {
+net::Payload encode(const SuspendMsg& m) {
   return {pack_u64(m.notify_id), pack_u64(m.request_id)};
 }
 
-std::vector<std::int64_t> encode(const SuspendAckMsg& m) {
+net::Payload encode(const SuspendAckMsg& m) {
   return {pack_u64(m.notify_id)};
 }
 
-std::vector<std::int64_t> encode(const ResumeMsg& m) {
+net::Payload encode(const ResumeMsg& m) {
   return {pack_u64(m.notify_id), pack_u64(m.request_id)};
 }
 
-std::vector<std::int64_t> encode(const ResumeAckMsg& m) {
+net::Payload encode(const ResumeAckMsg& m) {
   return {pack_u64(m.notify_id)};
 }
 

@@ -233,7 +233,7 @@ void FloorServer::release_holder(floorctl::MemberId member,
     const std::uint64_t request_id = queued->second;
     queued_request_.erase(queued);
     holder_request_[pkey] = request_id;
-    const std::vector<std::int64_t> reply = encode(GrantMsg{
+    const net::Payload reply = encode(GrantMsg{
         request_id,
         promotion.decision.outcome == floorctl::Outcome::kGrantedDegraded,
         promotion.decision.availability_after});
@@ -260,7 +260,7 @@ void FloorServer::release_holder(floorctl::MemberId member,
     if (queued == queued_request_.end()) continue;
     const std::uint64_t request_id = queued->second;
     queued_request_.erase(queued);
-    const std::vector<std::int64_t> reply =
+    const net::Payload reply =
         encode(DenyMsg{request_id, floorctl::Outcome::kDenied});
     const auto record = decided_.find(request_id);
     if (record != decided_.end()) {

@@ -106,7 +106,7 @@ void Demux::off(MsgType type) {
   if (type.value() < handlers_.size()) handlers_[type.value()] = nullptr;
 }
 
-void Demux::send(NodeId to, MsgType type, std::vector<std::int64_t> ints) {
+void Demux::send(NodeId to, MsgType type, Payload ints) {
   network_.send(Message{node_, to, type, std::move(ints)});
 }
 

@@ -476,4 +476,93 @@ TEST(GroupRegistry, PolicySelectionLivesOnTheGroup) {
   EXPECT_FALSE(registry.set_policy(GroupId{99}, PolicyKind::kQueueing));
 }
 
+TEST(GroupSnapshot, MutationsBumpTheEpochAndOldSnapshotsStayFrozen) {
+  GroupRegistry registry;
+  const auto before = registry.snapshot();
+  EXPECT_EQ(before->epoch, registry.epoch());
+  EXPECT_EQ(before->member_count(), 0u);
+
+  const auto chair = registry.add_member("chair", 3, HostId{1});
+  const auto snap1 = registry.snapshot();
+  EXPECT_GT(snap1->epoch, before->epoch);
+  const auto group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+  const auto member = registry.add_member("m", 1, HostId{1});
+  EXPECT_TRUE(registry.join(member, group));
+
+  // The old snapshots were never touched: immutability is the contract
+  // shard worker threads rely on while membership churns.
+  EXPECT_EQ(before->member_count(), 0u);
+  EXPECT_EQ(before->group_count(), 0u);
+  EXPECT_EQ(snap1->member_count(), 1u);
+  EXPECT_FALSE(snap1->in_group(member, group));
+
+  const auto now = registry.snapshot();
+  EXPECT_TRUE(now->in_group(member, group));
+  EXPECT_EQ(now->member(member).priority, 1);
+
+  // A failed mutation publishes nothing.
+  const auto epoch = registry.epoch();
+  EXPECT_FALSE(registry.join(member, group));  // already in
+  EXPECT_EQ(registry.epoch(), epoch);
+}
+
+TEST(GroupSnapshot, GroupOnlyMutationsShareTheMemberTable) {
+  GroupRegistry registry;
+  const auto chair = registry.add_member("chair", 3, HostId{1});
+  const auto member = registry.add_member("m", 1, HostId{1});
+  const auto group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+  const auto before = registry.snapshot();
+  EXPECT_TRUE(registry.join(member, group));
+  const auto after = registry.snapshot();
+  // join is the common runtime mutation; it copy-on-writes the group table
+  // but structurally shares the member table with the prior snapshot.
+  EXPECT_EQ(before->members.get(), after->members.get());
+  EXPECT_NE(before->groups.get(), after->groups.get());
+}
+
+TEST(GroupSnapshot, BatchScopesManyMutationsIntoOnePublish) {
+  GroupRegistry registry;
+  const auto epoch0 = registry.epoch();
+  MemberId chair, member;
+  GroupId group;
+  {
+    GroupRegistry::Batch batch(registry);
+    chair = registry.add_member("chair", 3, HostId{1});
+    group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+    member = registry.add_member("m", 1, HostId{1});
+    EXPECT_TRUE(registry.join(member, group));
+    // Nothing published yet: readers still see the pre-batch world.
+    EXPECT_EQ(registry.epoch(), epoch0);
+    EXPECT_EQ(registry.snapshot()->member_count(), 0u);
+  }
+  // One epoch bump for the whole batch, and the world is all there.
+  EXPECT_EQ(registry.epoch(), epoch0 + 1);
+  EXPECT_TRUE(registry.in_group(member, group));
+  EXPECT_EQ(registry.member_count(), 2u);
+}
+
+TEST(GroupSnapshot, ServiceArbitratesAgainstAnExplicitSnapshot) {
+  sim::Simulator sim;
+  clk::TrueClock clock{sim};
+  GroupRegistry registry;
+  FloorService service{registry, clock, Thresholds{0.25, 0.05}};
+  service.add_host(HostId{1}, Resource{1.0, 1.0, 1.0});
+  const auto chair = registry.add_member("chair", 3, HostId{1});
+  const auto group = registry.create_group("g", FcmMode::kFreeAccess, chair);
+  const auto member = registry.add_member("m", 1, HostId{1});
+  const auto stale = registry.snapshot();  // member not yet in the group
+  EXPECT_TRUE(registry.join(member, group));
+
+  FloorRequest r;
+  r.group = group;
+  r.member = member;
+  r.host = HostId{1};
+  r.qos = media::QosRequirement{0.1, 0.1, 0.1};
+  // Against the stale snapshot the member is an outsider; against the
+  // current one it is seated — the snapshot, not the registry, is the
+  // arbitration input.
+  EXPECT_EQ(service.request(*stale, r).outcome, Outcome::kDenied);
+  EXPECT_EQ(service.request(r).outcome, Outcome::kGranted);
+}
+
 }  // namespace

@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "util/duration.hpp"
 #include "util/ids.hpp"
+#include "util/mpsc_mailbox.hpp"
 #include "util/rng.hpp"
+#include "util/small_vec.hpp"
 
 namespace {
 
@@ -74,6 +80,127 @@ TEST(Rng, DeterministicAndInRange) {
     EXPECT_GE(u, 0.0);
     EXPECT_LT(u, 1.0);
     EXPECT_LT(r.index(5), 5u);
+  }
+}
+
+using dmps::util::MpscMailbox;
+using dmps::util::SmallVec;
+
+TEST(SmallVec, StaysInlineUpToCapacityThenSpills) {
+  SmallVec<std::int64_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (std::int64_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inline_storage());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);  // spills to the heap
+  EXPECT_FALSE(v.inline_storage());
+  EXPECT_EQ(v.size(), 5u);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, InitializerListCopyMoveAndEquality) {
+  const SmallVec<std::int64_t, 4> a{1, 2, 3};
+  EXPECT_TRUE(a.inline_storage());
+  SmallVec<std::int64_t, 4> b = a;  // copy
+  EXPECT_EQ(a, b);
+  b.push_back(4);
+  EXPECT_NE(a, b);
+
+  SmallVec<std::int64_t, 2> big{1, 2, 3, 4, 5};  // heap from the start
+  EXPECT_FALSE(big.inline_storage());
+  SmallVec<std::int64_t, 2> stolen = std::move(big);  // steals the heap block
+  EXPECT_EQ(stolen.size(), 5u);
+  EXPECT_EQ(big.size(), 0u);
+  EXPECT_EQ(stolen, (SmallVec<std::int64_t, 2>{1, 2, 3, 4, 5}));
+
+  // Moving an inline payload copies it and empties the source.
+  SmallVec<std::int64_t, 4> moved = std::move(b);
+  EXPECT_EQ(moved.size(), 4u);
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(SmallVec, AtBoundsChecksAndClearKeepsStorage) {
+  SmallVec<std::int64_t, 2> v{7, 8, 9};
+  EXPECT_EQ(v.at(2), 9);
+  EXPECT_THROW(v.at(3), std::out_of_range);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(MpscMailbox, FifoOrderAndCloseSemantics) {
+  MpscMailbox<int> box(8);
+  EXPECT_TRUE(box.push(1));
+  EXPECT_TRUE(box.push(2));
+  EXPECT_TRUE(box.try_push(3));
+  EXPECT_EQ(box.size(), 3u);
+  box.close();
+  EXPECT_FALSE(box.push(4));      // closed to producers...
+  EXPECT_FALSE(box.try_push(4));
+  EXPECT_EQ(box.pop(), 1);        // ...but the consumer drains what landed
+  box.mark_done();
+  EXPECT_EQ(box.pop(), 2);
+  box.mark_done();
+  EXPECT_EQ(box.pop(), 3);
+  box.mark_done();
+  EXPECT_EQ(box.pop(), std::nullopt);  // closed and drained
+  box.wait_idle();                     // trivially idle, must not hang
+}
+
+TEST(MpscMailbox, BoundBlocksProducersUntilConsumed) {
+  MpscMailbox<int> box(2);
+  EXPECT_TRUE(box.push(1));
+  EXPECT_TRUE(box.push(2));
+  EXPECT_FALSE(box.try_push(3));  // full
+
+  std::atomic<bool> third_landed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(box.push(3));  // blocks until the consumer pops
+    third_landed.store(true);
+  });
+  EXPECT_EQ(box.pop(), 1);
+  box.mark_done();
+  producer.join();
+  EXPECT_TRUE(third_landed.load());
+  EXPECT_EQ(box.pop(), 2);
+  box.mark_done();
+  EXPECT_EQ(box.pop(), 3);
+  box.mark_done();
+  box.wait_idle();
+}
+
+TEST(MpscMailbox, ManyProducersOneConsumerKeepsEveryItem) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  MpscMailbox<std::pair<int, int>> box(16);
+
+  std::thread consumer;
+  std::vector<std::vector<int>> seen(kProducers);
+  consumer = std::thread([&] {
+    while (auto item = box.pop()) {
+      seen[static_cast<std::size_t>(item->first)].push_back(item->second);
+      box.mark_done();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) EXPECT_TRUE(box.push({p, i}));
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  box.wait_idle();
+  box.close();
+  consumer.join();
+
+  // Nothing lost, and each producer's items arrived in its own push order.
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(p)].size(),
+              static_cast<std::size_t>(kPerProducer));
+    for (int i = 0; i < kPerProducer; ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)], i);
+    }
   }
 }
 
