@@ -18,11 +18,33 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace dmps::bench {
+
+/// Peak resident set size of this process so far, in kilobytes (0 where
+/// getrusage is unavailable). Memory-diet scenarios record it next to their
+/// timing rows, and write_json stamps it into every BENCH_*.json.
+inline std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes there
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // kB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 struct ScenarioTable {
   std::string title;
@@ -153,7 +175,11 @@ inline void write_json(const std::string& name,
   }
   out << "{\n  \"bench\": \"";
   detail::json_escape(out, name);
-  out << "\",\n  \"tables\": [";
+  // Machine context for the regression gate: RSS is report-only (never a
+  // gate — see ci/bench_diff.py), hw_threads explains scaling-table shape.
+  out << "\",\n  \"ru_maxrss_kb\": " << peak_rss_kb()
+      << ",\n  \"hw_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"tables\": [";
   const auto& tables = detail::tables();
   for (std::size_t t = 0; t < tables.size(); ++t) {
     if (t != 0) out << ',';

@@ -113,6 +113,24 @@ def diff_tables(base, cur):
     return flagged
 
 
+def rss_line(base, cur):
+    """Peak-RSS delta as a report-only line, or None.
+
+    Memory NEVER gates — RSS on shared runners moves with allocator arena
+    sizing and whatever else the process mapped, so it is a trend line, not
+    a pass/fail signal. Baselines written before the field existed simply
+    get the no-baseline wording: a missing ru_maxrss_kb must never fail.
+    """
+    brss = base.get("ru_maxrss_kb")
+    crss = cur.get("ru_maxrss_kb")
+    if not isinstance(crss, (int, float)):
+        return None
+    if not isinstance(brss, (int, float)) or brss == 0:
+        return f"\npeak RSS: {crss:g} kB (no baseline value; report-only)"
+    return (f"\npeak RSS: {brss:g} kB -> {crss:g} kB "
+            f"({pct(brss, crss):+.1f}%; report-only, never gates)")
+
+
 def compare(baseline, current, threshold, allow_noisy):
     """The unit-testable core: (report_lines, gating_regression_count).
 
@@ -146,6 +164,9 @@ def compare(baseline, current, threshold, allow_noisy):
                     regressions += flag == "REGRESSION"
                     report.append(f"| {bench_name} | {old:.1f} | {new:.1f} | "
                                   f"{delta:+.1f}% | {flag} |")
+        rss = rss_line(base, cur)
+        if rss:
+            report.append(rss)
         cells = diff_tables(base, cur)
         if cells:
             report.append("\n| scenario cell swings > "

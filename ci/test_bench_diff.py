@@ -97,6 +97,27 @@ class CompareGating(unittest.TestCase):
         self.assertEqual(regressions, 1)
         self.assertTrue(any("integrity failure" in line for line in lines))
 
+    def test_rss_is_reported_but_never_gates(self):
+        base = {"BENCH_x.json": dict(bench(), ru_maxrss_kb=1000)}
+        cur = {"BENCH_x.json": dict(bench(), ru_maxrss_kb=9000)}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)  # a 9x RSS jump still passes
+        self.assertTrue(any("peak RSS" in line and "+800.0%" in line
+                            for line in lines))
+
+    def test_missing_rss_in_older_baseline_does_not_fail(self):
+        # Baselines written before ru_maxrss_kb existed must diff cleanly:
+        # report the current value, gate nothing.
+        base = {"BENCH_x.json": bench()}
+        cur = {"BENCH_x.json": dict(bench(), ru_maxrss_kb=4096)}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("no baseline value" in line for line in lines))
+        # And the reverse (current run lacks the field) stays silent.
+        lines, regressions = bench_diff.compare(cur, base, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertFalse(any("peak RSS" in line for line in lines))
+
     def test_shape_mismatched_tables_are_skipped(self):
         base = {"BENCH_x.json": bench(
             tables=[table("t", ["a"], [["1.0"], ["2.0"]])])}

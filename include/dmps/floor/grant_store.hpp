@@ -17,7 +17,11 @@
 // HostView, which exposes exactly the moves the disciplines are written in
 // (can_fit / suspend_to_fit / commit_grant / resume_suspended). Released
 // slots are recycled through a free list, so slot count is bounded by peak
-// concurrency, not request volume.
+// concurrency, not request volume. The same discipline extends to the rest
+// of the per-grant bookkeeping: index-map nodes are recycled through a
+// PoolAllocator, and the holder index keeps its (emptied) entries and their
+// inline SmallVec storage across release/re-request cycles — so once a
+// population has been seen, the grant+release hot loop allocates nothing.
 
 #include <cstdint>
 #include <map>
@@ -28,6 +32,8 @@
 #include "clock/drift_clock.hpp"
 #include "floor/resource.hpp"
 #include "floor/types.hpp"
+#include "util/pool_alloc.hpp"
+#include "util/small_vec.hpp"
 
 namespace dmps::floorctl {
 
@@ -54,7 +60,7 @@ class GrantStore {
   /// Media-Resume / promotion pass exactly there.
   struct HolderRelease {
     bool released = false;  // false: the member held nothing in the group
-    std::vector<HostId> freed_hosts;
+    HostList freed_hosts;
   };
   HolderRelease release_holder(MemberId member, GroupId group);
 
@@ -87,10 +93,16 @@ class GrantStore {
     }
   };
 
+  /// Index-map nodes come from a per-map free-list pool (one malloc per
+  /// node only until the host's peak grant population has been seen).
+  using IndexAlloc = util::PoolAllocator<std::pair<const IndexKey, std::size_t>>;
+  using ActiveIndex = std::map<IndexKey, std::size_t, std::less<IndexKey>, IndexAlloc>;
+  using SuspendedIndex = std::map<IndexKey, std::size_t, ResumeOrder, IndexAlloc>;
+
   struct HostState {
     resource::HostResourceManager manager;
-    std::map<IndexKey, std::size_t> active;                // suspend order
-    std::map<IndexKey, std::size_t, ResumeOrder> suspended;  // resume order
+    ActiveIndex active;       // suspend order
+    SuspendedIndex suspended;  // resume order
   };
 
   std::size_t alloc_slot(Grant grant);
@@ -101,7 +113,13 @@ class GrantStore {
   std::unordered_map<HostId::value_type, HostState> hosts_;
   std::vector<Grant> grants_;
   std::vector<std::size_t> free_slots_;  // released grant indices, reusable
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> holder_index_;
+  // holder (member, group) -> its grant slots. Slots fit uint32 (bounded by
+  // peak live grants), and the common one-grant holder stays inline.
+  // Entries are kept (emptied) on release rather than erased: a returning
+  // holder reuses the hash node and the SmallVec storage, which is what
+  // makes the steady-state request/release cycle heap-free.
+  std::unordered_map<std::uint64_t, util::SmallVec<std::uint32_t, 2>>
+      holder_index_;
   std::uint64_t next_seq_ = 0;
   std::size_t active_count_ = 0;
   std::size_t suspended_count_ = 0;

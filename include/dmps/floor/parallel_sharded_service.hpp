@@ -32,11 +32,24 @@
 //     first, after producers stop. drain()'s mailbox handshake makes every
 //     worker write happen-before the read.
 //
+// Batched submission (DESIGN.md §5c, "Batching"): request_batch() and
+// release_batch() bucket a whole vector of ops by owning shard and ship
+// each shard ONE mailbox entry — one lock episode and one wakeup amortized
+// over the bucket — executed as one linearized run on the shard, with one
+// completion callback for the whole batch (no per-op future, no per-op
+// push). Workers drain their backlog with pop_all and write results into
+// preallocated slot vectors; input/result vectors are recycled through an
+// internal arena (take_request_buffer()/take_release_buffer()), so
+// steady-state batched arbitration performs zero per-op heap allocations
+// on the worker hot loop (hot_loop_allocations() proves it when the
+// binary installs the util/alloc_probe operator-new hook).
+//
 // Cross-shard release: a holder's (member, group) may hold grants on
 // several hosts. Routes are recorded by workers at accept time in a striped
 // route map and consumed by release(), which fans one sub-operation out to
 // each involved shard and merges the results (completion fires on the last
-// shard's worker). release_on()/sweep() are the single-shard fast paths.
+// shard's worker). release_on()/sweep() are the single-shard fast paths;
+// release_batch() items are release_on-shaped for the same reason.
 
 #include <array>
 #include <atomic>
@@ -53,6 +66,7 @@
 #include "clock/drift_clock.hpp"
 #include "floor/service.hpp"
 #include "util/mpsc_mailbox.hpp"
+#include "util/small_vec.hpp"
 
 namespace dmps::floorctl {
 
@@ -67,6 +81,14 @@ class ParallelShardedFloorService {
 
   using DecisionCallback = std::function<void(const Decision&)>;
   using ReleaseCallback = std::function<void(const ReleaseResult&)>;
+  /// Batch completions observe the whole batch at once: `decisions[i]` /
+  /// `results[i]` answers input slot i. Both vectors are LOANED — the
+  /// service reclaims them into its arena when the callback returns, so a
+  /// callback that needs data longer must copy (or move elements) out.
+  using BatchDecisionCallback = std::function<void(
+      const std::vector<FloorRequest>&, std::vector<Decision>&)>;
+  using BatchReleaseCallback = std::function<void(
+      const std::vector<HostRelease>&, std::vector<ReleaseResult>&)>;
 
   ParallelShardedFloorService(const GroupRegistry& registry, clk::Clock& clock,
                               resource::Thresholds thresholds);
@@ -84,14 +106,16 @@ class ParallelShardedFloorService {
 
   /// Spawn the worker threads (after all add_host calls). Idempotent.
   void start();
-  /// Wait until every mailbox is empty and every popped operation finished.
-  /// Call after producers stop; afterwards aggregate reads are safe.
+  /// Wait until every mailbox is empty and every dequeued operation
+  /// finished. Call after producers stop; afterwards aggregate reads are
+  /// safe.
   void drain();
   /// Close mailboxes (draining accepted work) and join the workers. The
   /// lifecycle is one-shot: a stopped service cannot be restarted (its
   /// closed mailboxes outlive stop() so racing producers are refused, not
   /// crashed), and operations issued after stop() complete immediately
-  /// with a refusal.
+  /// with a refusal — batches report one refusal PER OP, never a silent
+  /// drop.
   void stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -130,6 +154,39 @@ class ParallelShardedFloorService {
   void sweep(HostId host, ReleaseCallback done);
   std::future<ReleaseResult> sweep(HostId host);
 
+  // ---------------------------------------------------- batched submission
+  /// Decide every request in one submission. Requests are bucketed by
+  /// owning shard; each touched shard receives a single mailbox entry
+  /// carrying its slot indices and executes them as one linearized run, in
+  /// input order. `done` runs exactly once with a slot-for-slot decisions
+  /// vector — on the worker that finished its bucket last, or on the
+  /// calling thread when nothing could be enqueued (every host unknown,
+  /// service not running, empty batch). Refusals are per-op: an unknown
+  /// host or a stop() race fills that slot's decision with the same
+  /// refusal the singleton path would report. Ordering: ops within one
+  /// batch keep input order per shard; two batches from the same producer
+  /// stay ordered per shard (mailbox FIFO); there is no cross-shard order.
+  void request_batch(std::vector<FloorRequest> requests,
+                     BatchDecisionCallback done);
+
+  /// Coalesced shard-scoped releases — each item release_on-shaped, so a
+  /// release batch is safe to pipeline behind the request batch that
+  /// granted on those shards. Same bucketing, completion, refusal and
+  /// ordering rules as request_batch.
+  void release_batch(std::vector<HostRelease> releases,
+                     BatchReleaseCallback done);
+
+  /// Arena handles: a vector recycled from a completed batch (contents
+  /// cleared, capacity retained) or a fresh one when the arena is empty.
+  /// Submitting through these keeps steady-state batching allocation-free.
+  std::vector<FloorRequest> take_request_buffer();
+  std::vector<HostRelease> take_release_buffer();
+
+  /// Heap allocations observed inside worker drain cycles since start().
+  /// Only meaningful when the binary installs the util/alloc_probe
+  /// operator-new hook; quiescent-state read (drain() first).
+  std::uint64_t hot_loop_allocations() const;
+
   // ------------------------------------------------------------ accessors
   FloorService* shard(HostId host);
   bool has_host(HostId host) const;
@@ -146,17 +203,30 @@ class ParallelShardedFloorService {
 
  private:
   struct FanOut;
+  struct RequestBatch;
+  struct ReleaseBatch;
 
   struct Op {
-    enum class Kind : std::uint8_t { kRequest, kRelease, kCancel, kSweep };
+    enum class Kind : std::uint8_t {
+      kRequest,
+      kRelease,
+      kCancel,
+      kSweep,
+      kRequestBatch,
+      kReleaseBatch,
+    };
     Kind kind = Kind::kRequest;
-    FloorRequest request;  // kRequest only
-    MemberId member;
-    GroupId group;
     HostId host;  // the shard this op executes on
+    // kRequest carries the full request. kRelease/kCancel reuse its member
+    // and group fields instead of adding their own: the mailbox ring
+    // preallocates capacity x sizeof(Op), so the entry stays one request
+    // wide instead of growing a field per kind.
+    FloorRequest request;
     DecisionCallback on_decision;
     ReleaseCallback on_release;
-    std::shared_ptr<FanOut> fan;  // multi-shard release/cancel
+    std::shared_ptr<FanOut> fan;   // multi-shard release/cancel
+    std::shared_ptr<void> batch;   // RequestBatch/ReleaseBatch, cast by kind
+    std::vector<std::uint32_t> indices;  // the batch slots this shard owns
   };
 
   /// Merges the per-shard results of a fanned-out release/cancel; the
@@ -166,6 +236,23 @@ class ParallelShardedFloorService {
     ReleaseResult merged;
     std::size_t remaining = 0;
     ReleaseCallback done;
+  };
+
+  /// Shared state of one batched submission. Producers pre-size the result
+  /// vector; workers write disjoint slots (no lock needed) and the last
+  /// bucket to finish — tracked by `remaining`, counted in buckets, not
+  /// ops — runs the completion and returns both vectors to the arena.
+  struct RequestBatch {
+    std::vector<FloorRequest> requests;
+    std::vector<Decision> decisions;
+    BatchDecisionCallback done;
+    std::atomic<std::size_t> remaining{0};
+  };
+  struct ReleaseBatch {
+    std::vector<HostRelease> releases;
+    std::vector<ReleaseResult> results;
+    BatchReleaseCallback done;
+    std::atomic<std::size_t> remaining{0};
   };
 
   struct Shard {
@@ -180,14 +267,19 @@ class ParallelShardedFloorService {
   struct Worker {
     util::MpscMailbox<Op> mailbox;
     std::thread thread;
+    /// Allocations observed while executing drained backlogs (alloc-probe).
+    std::atomic<std::uint64_t> hot_allocs{0};
     explicit Worker(std::size_t capacity) : mailbox(capacity) {}
   };
 
   static constexpr std::size_t kRouteStripes = 64;
+  /// Route lists stay inline for the common one-or-two-host holder, and
+  /// emptied entries are kept so a returning holder reuses the hash node.
+  using RouteList = util::SmallVec<HostId, 2>;
   struct RouteStripe {
     std::mutex mu;
     // holder (member, group) -> shards holding its grants or parked state.
-    std::unordered_map<std::uint64_t, std::vector<HostId>> routes;
+    std::unordered_map<std::uint64_t, RouteList> routes;
   };
 
   void worker_main(std::size_t index);
@@ -195,6 +287,10 @@ class ParallelShardedFloorService {
   void enqueue(Op op);
   void refuse(Op& op);  // complete an op the service could not accept
   void complete(Op& op, ReleaseResult&& result);
+  void finish_request_bucket(RequestBatch& batch);
+  void finish_release_bucket(ReleaseBatch& batch);
+  std::vector<Decision> take_decision_buffer();
+  std::vector<ReleaseResult> take_result_buffer();
   Shard* find_shard(HostId host);
   const Shard* find_shard(HostId host) const;
   RouteStripe& stripe(std::uint64_t key) {
@@ -202,12 +298,12 @@ class ParallelShardedFloorService {
   }
   void record_route(MemberId member, GroupId group, HostId host);
   void drop_route(MemberId member, GroupId group, HostId host);
-  std::vector<HostId> take_routes(MemberId member, GroupId group);
-  std::vector<HostId> peek_routes(MemberId member, GroupId group);
+  HostList take_routes(MemberId member, GroupId group);
+  HostList peek_routes(MemberId member, GroupId group);
   /// Enqueue one release-shaped op per host, merging results through a
   /// FanOut when several shards are involved.
-  void fan_out(Op::Kind kind, const std::vector<HostId>& hosts,
-               MemberId member, GroupId group, ReleaseCallback done);
+  void fan_out(Op::Kind kind, const HostList& hosts, MemberId member,
+               GroupId group, ReleaseCallback done);
 
   const GroupRegistry& registry_;
   clk::Clock& clock_;
@@ -218,6 +314,15 @@ class ParallelShardedFloorService {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::array<RouteStripe, kRouteStripes> routes_;
   std::atomic<bool> running_{false};
+  /// Batch-buffer arena: input and result vectors cycle producer -> worker
+  /// -> arena -> producer, so a pipelined batch stream reuses a handful of
+  /// buffers instead of allocating per batch. Guarded by one mutex — taken
+  /// once per batch, amortized across its ops.
+  std::mutex arena_mu_;
+  std::vector<std::vector<FloorRequest>> request_arena_;
+  std::vector<std::vector<HostRelease>> release_arena_;
+  std::vector<std::vector<Decision>> decision_arena_;
+  std::vector<std::vector<ReleaseResult>> result_arena_;
 };
 
 }  // namespace dmps::floorctl

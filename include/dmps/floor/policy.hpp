@@ -67,7 +67,7 @@ class ArbitrationPolicy {
   /// the dropped one may fit right now, and no capacity change will ever
   /// re-trigger a sweep there.
   virtual void cancel(MemberId member, GroupId group, ReleaseResult& out,
-                      std::vector<HostId>& affected_hosts);
+                      HostList& affected_hosts);
 };
 
 class ThreeRegimePolicy : public ArbitrationPolicy {
@@ -91,7 +91,7 @@ class ChairedPolicy : public ArbitrationPolicy {
   Decision decide(const FloorRequest& request, const RequestContext& ctx,
                   GrantStore::HostView& host) override;
   void cancel(MemberId member, GroupId group, ReleaseResult& out,
-              std::vector<HostId>& affected_hosts) override {
+              HostList& affected_hosts) override {
     base_.cancel(member, group, out, affected_hosts);
   }
 
@@ -107,7 +107,7 @@ class QueueingPolicy : public ArbitrationPolicy {
   Decision decide(const FloorRequest& request, const RequestContext& ctx,
                   GrantStore::HostView& host) override;
   void cancel(MemberId member, GroupId group, ReleaseResult& out,
-              std::vector<HostId>& affected_hosts) override;
+              HostList& affected_hosts) override;
 
   /// One promotion pass for `host`: walk every group's queue in arrival
   /// order and grant each entry targeting this host that now fits (a

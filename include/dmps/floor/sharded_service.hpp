@@ -26,6 +26,7 @@
 
 #include "clock/drift_clock.hpp"
 #include "floor/service.hpp"
+#include "util/small_vec.hpp"
 
 namespace dmps::floorctl {
 
@@ -50,9 +51,25 @@ class ShardedFloorService {
   /// FCM-Arbitrate on the shard owning request.host.
   Decision request(const FloorRequest& request);
 
+  /// Batched FCM-Arbitrate: decide every request in input order, writing
+  /// `decisions[i]` for `requests[i]` (the vector is cleared and re-sized,
+  /// capacity reused across calls). Same shape as the parallel facade's
+  /// request_batch, so benches and sessions can swap facades; sequentially
+  /// the win is the amortized per-op routing and buffer reuse.
+  void request_batch(const std::vector<FloorRequest>& requests,
+                     std::vector<Decision>& decisions);
+
   /// Release everything `member` holds in `group` on every shard it was
   /// routed to, dropping parked requests there too.
   ReleaseResult release(MemberId member, GroupId group);
+
+  /// Shard-scoped release: drop what `member` holds in `group` on `host`
+  /// only. The route entry keeps any other hosts.
+  ReleaseResult release_on(HostId host, MemberId member, GroupId group);
+
+  /// Batched shard-scoped releases, slot-for-slot like request_batch.
+  void release_batch(const std::vector<HostRelease>& releases,
+                     std::vector<ReleaseResult>& results);
 
   /// Drop the member's parked requests in `group` (no grants touched).
   ReleaseResult cancel(MemberId member, GroupId group);
@@ -79,8 +96,11 @@ class ShardedFloorService {
   // holder (member, group) -> shards holding its grants or parked requests.
   // Routes are recorded when a shard accepts (grants or parks) a request
   // and dropped on release, so releases touch only the shards involved
-  // instead of fanning out to all of them.
-  std::unordered_map<std::uint64_t, std::vector<HostId>> routes_;
+  // instead of fanning out to all of them. Route lists stay inline for the
+  // common one-or-two-host holder, and emptied entries are kept so a
+  // returning holder reuses its hash node — the steady-state
+  // request/release cycle allocates nothing here.
+  std::unordered_map<std::uint64_t, util::SmallVec<HostId, 2>> routes_;
 };
 
 }  // namespace dmps::floorctl

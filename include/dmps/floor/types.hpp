@@ -16,12 +16,18 @@
 
 #include "media/media.hpp"
 #include "util/ids.hpp"
+#include "util/small_vec.hpp"
 
 namespace dmps::floorctl {
 
 using MemberId = util::StrongId<struct MemberTag>;
 using GroupId = util::StrongId<struct GroupTag>;
 using HostId = util::StrongId<struct HostTag>;
+
+/// Hosts touched by one release/cancel/sweep decision. A holder's grants
+/// live on one host in the common case (two when it re-homed mid-session),
+/// so the inline capacity keeps the steady-state release path off the heap.
+using HostList = util::SmallVec<HostId, 4>;
 
 /// Floor control disciplines. kFreeAccess arbitrates purely on resources
 /// and priority; kChaired additionally reserves the floor for the chair.
@@ -45,6 +51,16 @@ struct FloorRequest {
   FcmMode mode = FcmMode::kFreeAccess;
   HostId host;
   media::QosRequirement qos;
+};
+
+/// One coalesced, shard-scoped release: drop everything `member` holds in
+/// `group` on `host`. These are release_on-shaped on purpose — the caller
+/// names the shard, so a release batch can be pipelined behind the request
+/// batch that granted there (per-shard FIFO) without awaiting decisions.
+struct HostRelease {
+  HostId host;
+  MemberId member;
+  GroupId group;
 };
 
 enum class Outcome {

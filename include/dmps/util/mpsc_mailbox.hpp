@@ -2,22 +2,40 @@
 // MpscMailbox: a bounded multi-producer / single-consumer mailbox.
 //
 // The handoff primitive of the parallel floor-control path: any number of
-// producer threads push operations, one worker thread pops and executes
+// producer threads push operations, one worker thread drains and executes
 // them in arrival order. The bound is backpressure, not a drop policy —
 // push() blocks while the mailbox is full, so a burst of producers cannot
-// grow the queue without limit; FIFO order is the consumer-side contract
-// the floor queues' arrival-order rule rides on.
+// grow the queue without limit. Storage is a ring preallocated at
+// construction (T must be default-constructible), so accepting an item
+// never touches the heap — the mailbox itself contributes zero per-op
+// allocations to the worker pipeline.
 //
-// Shutdown and quiescence are first-class:
-//   close()     — producers get `false` from then on; the consumer drains
-//                 what was already accepted, then pop() returns nullopt.
-//   mark_done() — the consumer reports one popped item fully processed;
-//                 pop() alone only proves the item left the queue.
-//   wait_idle() — blocks until the queue is empty AND every popped item was
-//                 mark_done()'d. Because the wait happens under the same
-//                 mutex the consumer signals through, everything the
-//                 consumer wrote while processing happens-before the return
-//                 — callers may read consumer-owned state afterwards.
+// Bulk interface. push_all() hands over a whole run of items in one lock
+// episode and at most one consumer wakeup per episode (it only splits into
+// several episodes when the batch is larger than the free space, blocking
+// between them); pop_all() moves the entire backlog out in one lock
+// episode, so a worker wakes once per burst instead of once per item.
+//
+// FIFO contract (unchanged from the per-item interface): the consumer sees
+// every producer's items in that producer's push order, whether they
+// arrived via push(), push_all(), pop() or pop_all(). Items from a single
+// push_all() call are additionally contiguous unless the call had to block
+// on a full mailbox — then another producer's items may land between its
+// episodes (per-producer order still holds).
+//
+// Shutdown and quiescence (unchanged):
+//   close()      — producers get false/0 from then on; the consumer drains
+//                  what was already accepted, then pop() returns nullopt
+//                  and pop_all() returns 0.
+//   mark_done(n) — the consumer reports n previously dequeued items fully
+//                  processed; dequeuing alone only proves they left the
+//                  queue. pop() pairs with mark_done(), pop_all() with
+//                  mark_done(n).
+//   wait_idle()  — blocks until the queue is empty AND every dequeued item
+//                  was mark_done()'d. Because the wait happens under the
+//                  same mutex the consumer signals through, everything the
+//                  consumer wrote while processing happens-before the
+//                  return — callers may read consumer-owned state after.
 //
 // Plain mutex + condition variables, deliberately: the floor shards behind
 // this mailbox do microseconds of work per message, so a lock-free ring
@@ -25,10 +43,10 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace dmps::util {
 
@@ -36,7 +54,7 @@ template <typename T>
 class MpscMailbox {
  public:
   explicit MpscMailbox(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+      : capacity_(capacity == 0 ? 1 : capacity), ring_(capacity_) {}
 
   MpscMailbox(const MpscMailbox&) = delete;
   MpscMailbox& operator=(const MpscMailbox&) = delete;
@@ -46,13 +64,13 @@ class MpscMailbox {
   /// caller can still complete or refuse it instead of losing it.
   bool push(T&& item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(lock, [&] { return closed_ || count_ < capacity_; });
     if (closed_) return false;
-    items_.push_back(std::move(item));
+    slot(count_) = std::move(item);
+    ++count_;
     // Single consumer: it can only be waiting when it saw the queue empty,
     // so only the empty -> non-empty transition needs a wakeup.
-    if (items_.size() == 1) not_empty_.notify_one();
+    if (count_ == 1) not_empty_.notify_one();
     return true;
   }
 
@@ -60,36 +78,81 @@ class MpscMailbox {
   /// failure guarantee as push).
   bool try_push(T&& item) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(item));
-    if (items_.size() == 1) not_empty_.notify_one();
+    if (closed_ || count_ >= capacity_) return false;
+    slot(count_) = std::move(item);
+    ++count_;
+    if (count_ == 1) not_empty_.notify_one();
     return true;
+  }
+
+  /// Producer: enqueue items[0..count) in order, blocking for space as
+  /// needed. Returns how many items were accepted — less than `count` only
+  /// once the mailbox is closed, and the unaccepted tail items[accepted..)
+  /// is left untouched so the caller can refuse each one individually.
+  std::size_t push_all(T* items, std::size_t count) {
+    std::size_t accepted = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (accepted < count) {
+      not_full_.wait(lock, [&] { return closed_ || count_ < capacity_; });
+      if (closed_) break;
+      const bool was_empty = (count_ == 0);
+      while (accepted < count && count_ < capacity_) {
+        slot(count_) = std::move(items[accepted]);
+        ++accepted;
+        ++count_;
+      }
+      if (was_empty) not_empty_.notify_one();
+    }
+    return accepted;
   }
 
   /// Consumer: dequeue the oldest item, blocking while empty. Returns
   /// nullopt once the mailbox is closed and drained.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    not_empty_.wait(lock, [&] { return closed_ || count_ > 0; });
+    if (count_ == 0) return std::nullopt;
+    std::optional<T> item(std::move(ring_[head_]));
+    head_ = (head_ + 1) % capacity_;
+    --count_;
     ++in_flight_;
     not_full_.notify_one();
     return item;
   }
 
-  /// Consumer: one previously popped item is fully processed.
-  void mark_done() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--in_flight_ == 0 && items_.empty()) idle_.notify_all();
+  /// Consumer: move the whole backlog (at most capacity() items) onto the
+  /// end of `out`, blocking while empty. Returns the number of items
+  /// appended; 0 means closed and drained. The items count as in flight
+  /// until mark_done(n) — reserve `out` to capacity() once and the drain
+  /// itself never allocates.
+  std::size_t pop_all(std::vector<T>& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || count_ > 0; });
+    const std::size_t n = count_;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(ring_[head_]));
+      head_ = (head_ + 1) % capacity_;
+    }
+    count_ = 0;
+    in_flight_ += n;
+    // A bulk drain can free many slots at once; every blocked producer may
+    // have room now.
+    if (n > 0) not_full_.notify_all();
+    return n;
   }
 
-  /// Block until the queue is empty and no popped item is still being
+  /// Consumer: n previously dequeued items are fully processed.
+  void mark_done(std::size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_ -= n;
+    if (in_flight_ == 0 && count_ == 0) idle_.notify_all();
+  }
+
+  /// Block until the queue is empty and no dequeued item is still being
   /// processed. Only meaningful once producers have stopped pushing.
   void wait_idle() {
     std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [&] { return items_.empty() && in_flight_ == 0; });
+    idle_.wait(lock, [&] { return count_ == 0 && in_flight_ == 0; });
   }
 
   /// Reject producers from now on; the consumer drains what was accepted.
@@ -103,7 +166,7 @@ class MpscMailbox {
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return items_.size();
+    return count_;
   }
   bool closed() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -111,13 +174,18 @@ class MpscMailbox {
   }
 
  private:
+  /// The ring slot `logical` positions past the oldest item.
+  T& slot(std::size_t logical) { return ring_[(head_ + logical) % capacity_]; }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::condition_variable idle_;
-  std::deque<T> items_;
-  std::size_t in_flight_ = 0;  // popped but not yet mark_done()'d
+  std::vector<T> ring_;     // preallocated; moved-from slots are reused
+  std::size_t head_ = 0;    // oldest item
+  std::size_t count_ = 0;   // queued items
+  std::size_t in_flight_ = 0;  // dequeued but not yet mark_done()'d
   bool closed_ = false;
 };
 

@@ -99,6 +99,9 @@ class SmallVec {
 
   void clear() { size_ = 0; }  // storage (inline or heap) is kept
 
+  /// Drop the last element (undefined on an empty SmallVec, like vector).
+  void pop_back() { --size_; }
+
   void reserve(std::size_t need) {
     if (need <= cap_) return;
     std::size_t cap = cap_;

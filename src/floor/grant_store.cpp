@@ -59,8 +59,13 @@ void GrantStore::drop_from_holder_index(std::size_t idx) {
   const auto holder = holder_index_.find(holder_key(grant.member, grant.group));
   if (holder == holder_index_.end()) return;
   auto& vec = holder->second;
-  vec.erase(std::remove(vec.begin(), vec.end(), idx), vec.end());
-  if (vec.empty()) holder_index_.erase(holder);
+  // Compact in place; the (possibly empty) entry is kept so a returning
+  // holder reuses its hash node and SmallVec storage.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    if (vec[i] != static_cast<std::uint32_t>(idx)) vec[keep++] = vec[i];
+  }
+  while (vec.size() > keep) vec.pop_back();
 }
 
 GrantStore::HolderRelease GrantStore::release_holder(MemberId member,
@@ -69,11 +74,12 @@ GrantStore::HolderRelease GrantStore::release_holder(MemberId member,
   const auto it = holder_index_.find(holder_key(member, group));
   if (it == holder_index_.end() || it->second.empty()) return result;
 
-  const std::vector<std::size_t> indices = std::move(it->second);
-  holder_index_.erase(it);
   result.released = true;
 
-  for (const std::size_t idx : indices) {
+  // Iterate the slot list in place, then clear it but keep the entry: the
+  // loop body never touches holder_index_, and the kept storage is what
+  // keeps a steady-state request/release cycle off the heap.
+  for (const std::uint32_t idx : it->second) {
     Grant& grant = grants_[idx];
     if (grant.released) continue;
     grant.released = true;
@@ -95,6 +101,7 @@ GrantStore::HolderRelease GrantStore::release_holder(MemberId member,
     }
     free_slots_.push_back(idx);
   }
+  it->second.clear();
   return result;
 }
 
@@ -105,7 +112,7 @@ bool GrantStore::HostView::suspend_to_fit(const resource::Resource& need,
   // releasing capacity tentatively until the request fits. The walk stops
   // at the first holder whose priority is not strictly below the
   // requester's, so it touches only actual candidates: O(k log M).
-  std::vector<std::size_t> taken;
+  util::SmallVec<std::size_t, 16> taken;
   auto it = state_->active.begin();
   for (; it != state_->active.end() && !state_->manager.can_fit(need); ++it) {
     if (it->first.first >= priority) break;  // no strictly-junior holder left
@@ -143,7 +150,8 @@ void GrantStore::HostView::commit_grant(MemberId member, GroupId group,
       store_->alloc_slot(Grant{member, group, host_, need, priority, seq,
                                store_->clock_.now(), false, false});
   state_->active.emplace(IndexKey{priority, seq}, idx);
-  store_->holder_index_[holder_key(member, group)].push_back(idx);
+  store_->holder_index_[holder_key(member, group)].push_back(
+      static_cast<std::uint32_t>(idx));
   ++store_->active_count_;
 }
 
@@ -151,15 +159,21 @@ void GrantStore::HostView::resume_suspended(std::vector<Holder>& resumed) {
   if (state_->suspended.empty()) return;
   // Media-Resume: highest priority first, then oldest, as capacity allows;
   // a holder that does not fit stays suspended and the walk continues.
-  std::vector<IndexKey> admitted;
+  // (Flat key struct: std::pair is not trivially copyable, SmallVec is.)
+  struct FlatKey {
+    int priority;
+    std::uint64_t seq;
+  };
+  util::SmallVec<FlatKey, 16> admitted;
   for (const auto& [key, idx] : state_->suspended) {
     Grant& grant = store_->grants_[idx];
     if (!state_->manager.reserve(grant.amount)) continue;
     grant.suspended = false;
-    admitted.push_back(key);
+    admitted.push_back(FlatKey{key.first, key.second});
     resumed.push_back(Holder{grant.member, grant.group});
   }
-  for (const IndexKey& key : admitted) {
+  for (const FlatKey& flat : admitted) {
+    const IndexKey key{flat.priority, flat.seq};
     const auto it = state_->suspended.find(key);
     state_->active.emplace(key, it->second);
     state_->suspended.erase(it);

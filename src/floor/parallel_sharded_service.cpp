@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/alloc_probe.hpp"
+
 namespace dmps::floorctl {
 
 ParallelShardedFloorService::ParallelShardedFloorService(
@@ -59,6 +61,17 @@ void ParallelShardedFloorService::start() {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->worker = s % workers;
   }
+  // Batch completions park buffers from the worker threads; reserving the
+  // arenas here keeps even a deep pipelined backlog from growing them
+  // inside a worker's hot loop.
+  {
+    std::lock_guard<std::mutex> lock(arena_mu_);
+    constexpr std::size_t kArenaDepth = 64;
+    request_arena_.reserve(kArenaDepth);
+    release_arena_.reserve(kArenaDepth);
+    decision_arena_.reserve(kArenaDepth);
+    result_arena_.reserve(kArenaDepth);
+  }
   running_.store(true, std::memory_order_release);
   for (std::size_t w = 0; w < workers; ++w) {
     workers_[w]->thread = std::thread([this, w] { worker_main(w); });
@@ -84,10 +97,30 @@ void ParallelShardedFloorService::stop() {
 
 void ParallelShardedFloorService::worker_main(std::size_t index) {
   Worker& worker = *workers_[index];
-  while (auto op = worker.mailbox.pop()) {
-    execute(*op);
-    worker.mailbox.mark_done();
+  // The whole backlog is drained per wakeup: one lock episode and one
+  // condvar round-trip amortized over every op queued since the last pass.
+  // The backlog vector is reserved once and recycled; together with the
+  // batch arenas and the keep-empty stores below this loop this is what the
+  // zero-steady-state-allocation claim rests on, so the alloc probe brackets
+  // exactly the execute() run (clear() after mark_done only frees).
+  std::vector<Op> backlog;
+  backlog.reserve(worker.mailbox.capacity());
+  while (const std::size_t n = worker.mailbox.pop_all(backlog)) {
+    const std::uint64_t before = util::alloc_probe_count();
+    for (Op& op : backlog) execute(op);
+    worker.hot_allocs.fetch_add(util::alloc_probe_count() - before,
+                                std::memory_order_relaxed);
+    worker.mailbox.mark_done(n);
+    backlog.clear();
   }
+}
+
+std::uint64_t ParallelShardedFloorService::hot_loop_allocations() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->hot_allocs.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 ParallelShardedFloorService::Shard* ParallelShardedFloorService::find_shard(
@@ -130,29 +163,39 @@ void ParallelShardedFloorService::drop_route(MemberId member, GroupId group,
   const auto it = s.routes.find(key);
   if (it == s.routes.end()) return;
   auto& hosts = it->second;
-  hosts.erase(std::remove(hosts.begin(), hosts.end(), host), hosts.end());
-  if (hosts.empty()) s.routes.erase(it);
+  // Compact in place and keep the (possibly empty) entry: a returning
+  // holder reuses the hash node and inline storage, keeping the
+  // record/drop cycle of the grant hot loop off the heap.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (hosts[i] != host) hosts[keep++] = hosts[i];
+  }
+  while (hosts.size() > keep) hosts.pop_back();
 }
 
-std::vector<HostId> ParallelShardedFloorService::take_routes(MemberId member,
-                                                             GroupId group) {
+HostList ParallelShardedFloorService::take_routes(MemberId member,
+                                                  GroupId group) {
   const std::uint64_t key = holder_key(member, group);
   RouteStripe& s = stripe(key);
+  HostList hosts;
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.routes.find(key);
-  if (it == s.routes.end()) return {};
-  std::vector<HostId> hosts = std::move(it->second);
-  s.routes.erase(it);
+  if (it == s.routes.end()) return hosts;
+  for (const HostId host : it->second) hosts.push_back(host);
+  it->second.clear();  // keep the emptied entry (see drop_route)
   return hosts;
 }
 
-std::vector<HostId> ParallelShardedFloorService::peek_routes(MemberId member,
-                                                             GroupId group) {
+HostList ParallelShardedFloorService::peek_routes(MemberId member,
+                                                  GroupId group) {
   const std::uint64_t key = holder_key(member, group);
   RouteStripe& s = stripe(key);
+  HostList hosts;
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.routes.find(key);
-  return it != s.routes.end() ? it->second : std::vector<HostId>{};
+  if (it == s.routes.end()) return hosts;
+  for (const HostId host : it->second) hosts.push_back(host);
+  return hosts;
 }
 
 void ParallelShardedFloorService::enqueue(Op op) {
@@ -168,13 +211,46 @@ void ParallelShardedFloorService::enqueue(Op op) {
 }
 
 void ParallelShardedFloorService::refuse(Op& op) {
-  if (op.kind == Op::Kind::kRequest) {
-    Decision decision;
-    decision.reason = "floor service is not running";
-    if (op.on_decision) op.on_decision(decision);
-    return;
+  switch (op.kind) {
+    case Op::Kind::kRequest: {
+      Decision decision;
+      decision.reason = "floor service is not running";
+      if (op.on_decision) op.on_decision(decision);
+      return;
+    }
+    case Op::Kind::kRequestBatch: {
+      // The batch contract survives a stop() race: every slot this shard
+      // owned gets the same refusal the singleton path reports — a batch
+      // is never silently shorter than its input. Slots may be recycled,
+      // so each refusal is rebuilt in full.
+      auto& batch = *static_cast<RequestBatch*>(op.batch.get());
+      for (const std::uint32_t idx : op.indices) {
+        Decision& refusal = batch.decisions[idx];
+        refusal.outcome = Outcome::kDenied;
+        refusal.suspended.clear();
+        refusal.reason = "floor service is not running";
+        refusal.availability_before = 0.0;
+        refusal.availability_after = 0.0;
+      }
+      finish_request_bucket(batch);
+      return;
+    }
+    case Op::Kind::kReleaseBatch: {
+      auto& batch = *static_cast<ReleaseBatch*>(op.batch.get());
+      for (const std::uint32_t idx : op.indices) {
+        ReleaseResult& refusal = batch.results[idx];
+        refusal.released = false;
+        refusal.resumed.clear();
+        refusal.promoted.clear();
+        refusal.dequeued.clear();
+      }
+      finish_release_bucket(batch);
+      return;
+    }
+    default:
+      complete(op, ReleaseResult{});
+      return;
   }
-  complete(op, ReleaseResult{});
 }
 
 void ParallelShardedFloorService::complete(Op& op, ReleaseResult&& result) {
@@ -192,6 +268,32 @@ void ParallelShardedFloorService::complete(Op& op, ReleaseResult&& result) {
   if (op.on_release) op.on_release(result);
 }
 
+void ParallelShardedFloorService::finish_request_bucket(RequestBatch& batch) {
+  // Buckets write disjoint decision slots, so the only synchronization a
+  // batch needs is this counter: the release-store publishes this bucket's
+  // slots, the acquire on the last decrement makes every bucket's writes
+  // visible to whoever runs the completion.
+  if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (batch.done) batch.done(batch.requests, batch.decisions);
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  // The input vector is cleared (trivial element dtors — producers refill
+  // with push_back); the decision slots are parked ALIVE so the next batch
+  // reuses them in place (resize + per-slot overwrite) instead of paying a
+  // construct/destroy cycle per op per round.
+  batch.requests.clear();
+  request_arena_.push_back(std::move(batch.requests));
+  decision_arena_.push_back(std::move(batch.decisions));
+}
+
+void ParallelShardedFloorService::finish_release_bucket(ReleaseBatch& batch) {
+  if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (batch.done) batch.done(batch.releases, batch.results);
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  batch.releases.clear();  // result slots stay alive for in-place reuse
+  release_arena_.push_back(std::move(batch.releases));
+  result_arena_.push_back(std::move(batch.results));
+}
+
 void ParallelShardedFloorService::execute(Op& op) {
   Shard* owner = find_shard(op.host);
   switch (op.kind) {
@@ -206,21 +308,49 @@ void ParallelShardedFloorService::execute(Op& op) {
       return;
     }
     case Op::Kind::kRelease: {
-      ReleaseResult result = owner->service.release(op.member, op.group);
+      ReleaseResult result =
+          owner->service.release(op.request.member, op.request.group);
       // This shard no longer holds anything for the holder (grants and
       // parked requests alike were dropped).
-      drop_route(op.member, op.group, op.host);
+      drop_route(op.request.member, op.request.group, op.host);
       complete(op, std::move(result));
       return;
     }
     case Op::Kind::kCancel: {
       // Routes survive cancel: the member may still hold a grant here
       // (cancel drops parked state only), mirroring the sequential facade.
-      complete(op, owner->service.cancel(op.member, op.group));
+      complete(op, owner->service.cancel(op.request.member, op.request.group));
       return;
     }
     case Op::Kind::kSweep: {
       complete(op, owner->service.sweep(op.host));
+      return;
+    }
+    case Op::Kind::kRequestBatch: {
+      auto& batch = *static_cast<RequestBatch*>(op.batch.get());
+      FloorService& service = owner->service;  // hoisted across the bucket
+      for (const std::uint32_t idx : op.indices) {
+        const FloorRequest& request = batch.requests[idx];
+        Decision decision = service.request(request);
+        if (decision.outcome == Outcome::kGranted ||
+            decision.outcome == Outcome::kGrantedDegraded ||
+            decision.outcome == Outcome::kQueued) {
+          record_route(request.member, request.group, op.host);
+        }
+        batch.decisions[idx] = std::move(decision);
+      }
+      finish_request_bucket(batch);
+      return;
+    }
+    case Op::Kind::kReleaseBatch: {
+      auto& batch = *static_cast<ReleaseBatch*>(op.batch.get());
+      FloorService& service = owner->service;
+      for (const std::uint32_t idx : op.indices) {
+        const HostRelease& item = batch.releases[idx];
+        batch.results[idx] = service.release(item.member, item.group);
+        drop_route(item.member, item.group, op.host);
+      }
+      finish_release_bucket(batch);
       return;
     }
   }
@@ -262,8 +392,161 @@ std::future<Decision> ParallelShardedFloorService::request(
       [&](DecisionCallback done) { this->request(request, std::move(done)); });
 }
 
-void ParallelShardedFloorService::fan_out(Op::Kind kind,
-                                          const std::vector<HostId>& hosts,
+std::vector<FloorRequest> ParallelShardedFloorService::take_request_buffer() {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (request_arena_.empty()) return {};
+  std::vector<FloorRequest> buffer = std::move(request_arena_.back());
+  request_arena_.pop_back();
+  return buffer;
+}
+
+std::vector<HostRelease> ParallelShardedFloorService::take_release_buffer() {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (release_arena_.empty()) return {};
+  std::vector<HostRelease> buffer = std::move(release_arena_.back());
+  release_arena_.pop_back();
+  return buffer;
+}
+
+std::vector<Decision> ParallelShardedFloorService::take_decision_buffer() {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (decision_arena_.empty()) return {};
+  std::vector<Decision> buffer = std::move(decision_arena_.back());
+  decision_arena_.pop_back();
+  return buffer;
+}
+
+std::vector<ReleaseResult> ParallelShardedFloorService::take_result_buffer() {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (result_arena_.empty()) return {};
+  std::vector<ReleaseResult> buffer = std::move(result_arena_.back());
+  result_arena_.pop_back();
+  return buffer;
+}
+
+void ParallelShardedFloorService::request_batch(
+    std::vector<FloorRequest> requests, BatchDecisionCallback done) {
+  auto batch = std::make_shared<RequestBatch>();
+  batch->requests = std::move(requests);
+  batch->decisions = take_decision_buffer();
+  const std::size_t n = batch->requests.size();
+  // Size every result slot before publication so workers write disjoint,
+  // fully built elements — no vector-header mutation afterwards. Recycled
+  // slots are reused in place (each is overwritten by assignment); only
+  // slots no worker will touch are reset explicitly below.
+  batch->decisions.resize(n);
+  batch->done = std::move(done);
+
+  // Bucket slot indices by owning shard. These two scratch vectors are the
+  // only per-batch producer-side allocations (amortized: capacity grows to
+  // the touched-shard count and the loop is O(n)); the WORKER hot loop
+  // stays allocation-free. Batch streams arrive in same-host runs (a
+  // station submits its ops together), so one memoized shard lookup
+  // replaces most hash probes.
+  std::vector<std::vector<std::uint32_t>> buckets(shards_.size());
+  util::SmallVec<std::uint32_t, 64> touched;
+  std::uint32_t memo_host = 0;
+  std::size_t memo_shard = 0;
+  bool memo_valid = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t host = batch->requests[i].host.value();
+    std::size_t shard;
+    if (memo_valid && host == memo_host) {
+      shard = memo_shard;
+    } else {
+      const auto it = shard_index_.find(host);
+      if (it == shard_index_.end()) {
+        // A recycled slot may hold a stale decision: rebuild it in full.
+        Decision& refusal = batch->decisions[i];
+        refusal.outcome = Outcome::kDenied;
+        refusal.suspended.clear();
+        refusal.reason = "unknown host station";
+        refusal.availability_before = 0.0;
+        refusal.availability_after = 0.0;
+        continue;
+      }
+      shard = it->second;
+      memo_host = host;
+      memo_shard = shard;
+      memo_valid = true;
+    }
+    if (buckets[shard].empty()) {
+      touched.push_back(static_cast<std::uint32_t>(shard));
+    }
+    buckets[shard].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // remaining counts BUCKETS, plus one producer share so the callback can
+  // never fire while buckets are still being enqueued. The producer share
+  // also covers the nothing-enqueued cases (empty batch, all hosts
+  // unknown): finish runs inline on this thread.
+  batch->remaining.store(touched.size() + 1, std::memory_order_release);
+  for (const std::uint32_t s : touched) {
+    Op op;
+    op.kind = Op::Kind::kRequestBatch;
+    op.host = shards_[s]->host;
+    op.batch = batch;
+    op.indices = std::move(buckets[s]);
+    enqueue(std::move(op));
+  }
+  finish_request_bucket(*batch);
+}
+
+void ParallelShardedFloorService::release_batch(
+    std::vector<HostRelease> releases, BatchReleaseCallback done) {
+  auto batch = std::make_shared<ReleaseBatch>();
+  batch->releases = std::move(releases);
+  batch->results = take_result_buffer();
+  const std::size_t n = batch->releases.size();
+  batch->results.resize(n);  // recycled slots reused in place, like requests
+  batch->done = std::move(done);
+
+  std::vector<std::vector<std::uint32_t>> buckets(shards_.size());
+  util::SmallVec<std::uint32_t, 64> touched;
+  std::uint32_t memo_host = 0;
+  std::size_t memo_shard = 0;
+  bool memo_valid = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t host = batch->releases[i].host.value();
+    std::size_t shard;
+    if (memo_valid && host == memo_host) {
+      shard = memo_shard;
+    } else {
+      const auto it = shard_index_.find(host);
+      if (it == shard_index_.end()) {
+        // No worker will touch this slot; reset any recycled content so the
+        // callback sees the documented released=false empty result.
+        ReleaseResult& refusal = batch->results[i];
+        refusal.released = false;
+        refusal.resumed.clear();
+        refusal.promoted.clear();
+        refusal.dequeued.clear();
+        continue;
+      }
+      shard = it->second;
+      memo_host = host;
+      memo_shard = shard;
+      memo_valid = true;
+    }
+    if (buckets[shard].empty()) {
+      touched.push_back(static_cast<std::uint32_t>(shard));
+    }
+    buckets[shard].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  batch->remaining.store(touched.size() + 1, std::memory_order_release);
+  for (const std::uint32_t s : touched) {
+    Op op;
+    op.kind = Op::Kind::kReleaseBatch;
+    op.host = shards_[s]->host;
+    op.batch = batch;
+    op.indices = std::move(buckets[s]);
+    enqueue(std::move(op));
+  }
+  finish_release_bucket(*batch);
+}
+
+void ParallelShardedFloorService::fan_out(Op::Kind kind, const HostList& hosts,
                                           MemberId member, GroupId group,
                                           ReleaseCallback done) {
   if (hosts.empty()) {
@@ -279,8 +562,8 @@ void ParallelShardedFloorService::fan_out(Op::Kind kind,
   for (const HostId host : hosts) {
     Op op;
     op.kind = kind;
-    op.member = member;
-    op.group = group;
+    op.request.member = member;
+    op.request.group = group;
     op.host = host;
     if (fan != nullptr) {
       op.fan = fan;
@@ -312,8 +595,8 @@ void ParallelShardedFloorService::release_on(HostId host, MemberId member,
   }
   Op op;
   op.kind = Op::Kind::kRelease;
-  op.member = member;
-  op.group = group;
+  op.request.member = member;
+  op.request.group = group;
   op.host = host;
   op.on_release = std::move(done);
   enqueue(std::move(op));

@@ -6,7 +6,7 @@
 namespace dmps::floorctl {
 
 void ArbitrationPolicy::cancel(MemberId, GroupId, ReleaseResult&,
-                               std::vector<HostId>&) {}
+                               HostList&) {}
 
 Decision ThreeRegimePolicy::decide(const FloorRequest& request,
                                    const RequestContext& ctx,
@@ -56,7 +56,10 @@ Decision ThreeRegimePolicy::decide(const FloorRequest& request,
     decision.reason = buf;
   } else if (full_regime) {
     decision.outcome = Outcome::kGranted;
-    decision.reason = "full-service regime";
+    // Short enough for the small-string optimization on every mainstream
+    // stdlib: the plain-grant path — the only per-op decision in a
+    // full-regime steady state — must not heap-allocate its reason.
+    decision.reason = "full regime";
   } else {
     decision.outcome = Outcome::kGrantedDegraded;
     std::snprintf(buf, sizeof(buf),
@@ -206,7 +209,7 @@ void QueueingPolicy::promote_host(GrantStore::HostView& host,
 }
 
 void QueueingPolicy::cancel(MemberId member, GroupId group, ReleaseResult& out,
-                            std::vector<HostId>& affected_hosts) {
+                            HostList& affected_hosts) {
   const auto it = queues_.find(group.value());
   if (it == queues_.end()) return;
   auto& queue = it->second;

@@ -75,7 +75,7 @@ ReleaseResult FloorService::release(const GroupSnapshot& snapshot,
   // dequeued parked request targeted: dropping a queue entry frees no
   // capacity, but it can unblock fitting entries parked behind it, and no
   // later release would ever sweep there for them.
-  std::vector<HostId> hosts = freed.freed_hosts;
+  HostList hosts = freed.freed_hosts;
   if (snapshot.has_group(group)) {
     // A releasing (or leaving) member abandons its parked requests too.
     policy_for(snapshot.group(group), FcmMode::kFreeAccess)
@@ -96,7 +96,7 @@ ReleaseResult FloorService::cancel(const GroupSnapshot& snapshot,
                                    MemberId member, GroupId group) {
   ReleaseResult result;
   if (!snapshot.has_group(group)) return result;
-  std::vector<HostId> hosts;
+  HostList hosts;
   policy_for(snapshot.group(group), FcmMode::kFreeAccess)
       .cancel(member, group, result, hosts);
   for (const HostId host_id : hosts) {

@@ -52,18 +52,59 @@ Decision ShardedFloorService::request(const FloorRequest& request) {
   return decision;
 }
 
+void ShardedFloorService::request_batch(
+    const std::vector<FloorRequest>& requests,
+    std::vector<Decision>& decisions) {
+  // resize without clear: recycled slots are overwritten whole below, and
+  // skipping the per-slot destroy/construct churn is much of the batch
+  // shape's sequential win.
+  decisions.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    decisions[i] = request(requests[i]);
+  }
+}
+
 ReleaseResult ShardedFloorService::release(MemberId member, GroupId group) {
   ReleaseResult result;
   const auto route = routes_.find(holder_key(member, group));
   if (route == routes_.end()) return result;
-  const std::vector<HostId> hosts = std::move(route->second);
-  routes_.erase(route);
-  for (const HostId host : hosts) {
+  // Iterate in place (release() on a shard never touches routes_), then
+  // clear but KEEP the entry: the reused hash node and inline storage are
+  // what keep the steady-state request/release cycle off the heap.
+  for (const HostId host : route->second) {
     if (FloorService* owner = shard(host)) {
       merge_release_results(result, owner->release(member, group));
     }
   }
+  route->second.clear();
   return result;
+}
+
+ReleaseResult ShardedFloorService::release_on(HostId host, MemberId member,
+                                              GroupId group) {
+  FloorService* owner = shard(host);
+  if (owner == nullptr) return ReleaseResult{};
+  ReleaseResult result = owner->release(member, group);
+  const auto route = routes_.find(holder_key(member, group));
+  if (route != routes_.end()) {
+    auto& hosts = route->second;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (hosts[i] != host) hosts[keep++] = hosts[i];
+    }
+    while (hosts.size() > keep) hosts.pop_back();
+  }
+  return result;
+}
+
+void ShardedFloorService::release_batch(
+    const std::vector<HostRelease>& releases,
+    std::vector<ReleaseResult>& results) {
+  results.resize(releases.size());  // slots overwritten whole, like requests
+  for (std::size_t i = 0; i < releases.size(); ++i) {
+    results[i] = release_on(releases[i].host, releases[i].member,
+                            releases[i].group);
+  }
 }
 
 ReleaseResult ShardedFloorService::cancel(MemberId member, GroupId group) {

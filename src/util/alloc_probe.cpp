@@ -1,0 +1,15 @@
+#include "util/alloc_probe.hpp"
+
+namespace dmps::util {
+
+namespace {
+// Trivially constructible, so reading it from inside an operator new
+// override can never recurse through dynamic TLS initialization.
+thread_local std::uint64_t tls_alloc_count = 0;
+}  // namespace
+
+std::uint64_t alloc_probe_count() { return tls_alloc_count; }
+
+void alloc_probe_bump() { ++tls_alloc_count; }
+
+}  // namespace dmps::util

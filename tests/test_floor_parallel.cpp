@@ -298,6 +298,216 @@ TEST_F(ParallelFixture, StressInterleavedOpsWithMembershipChurn) {
   EXPECT_FALSE(service.running());
 }
 
+TEST_F(ParallelFixture, BatchAndSingletonSubmissionReachIdenticalOutcomes) {
+  // Parity for the batched pipeline: 4 producers x 8 shards drive the SAME
+  // deterministic op stream twice — once per-op with callbacks, once
+  // through request_batch/release_batch — and every per-op outcome (by
+  // producer and stream position), the release tally and the end state
+  // must match exactly. Capacity is ample so each op's outcome is
+  // interleaving-independent; a deterministic sprinkle of unknown-host ops
+  // keeps the sequences non-trivial and exercises the mixed
+  // known/unknown-slot bucketing. Runs under the TSan CI job.
+  constexpr int kProducers = 4;
+#ifdef DMPS_SANITIZED
+  constexpr int kRounds = 50;
+#else
+  constexpr int kRounds = 200;
+#endif
+  std::vector<std::vector<MemberId>> mine(kProducers);
+  {
+    GroupRegistry::Batch batch(registry);
+    for (int p = 0; p < kProducers; ++p) {
+      for (int h = 0; h < kHosts; ++h) {
+        mine[p].push_back(add_joined(
+            "b" + std::to_string(p) + "h" + std::to_string(h), 1, hosts[h]));
+      }
+    }
+  }
+  const HostId bogus{999};
+  const auto is_bogus = [](int p, int r, int h) {
+    return (p * 31 + r * 7 + h) % 5 == 0;
+  };
+  const auto qos_of = [](int p, int r, int h) {
+    return 0.05 + 0.01 * ((p + r + h) % 20);
+  };
+
+  struct RunResult {
+    std::vector<std::vector<Outcome>> outcomes;  // [producer][r * kHosts + h]
+    long released = 0;
+  };
+  const auto run = [&](bool batched) {
+    ParallelShardedFloorService::Options options;
+    options.workers = 3;  // shards fold: batches hit multi-shard buckets
+    ParallelShardedFloorService svc{registry, clock, Thresholds{0.25, 0.05},
+                                    options};
+    for (int h = 0; h < kHosts; ++h) {
+      svc.add_host(hosts[h], Resource{8.0, 8.0, 8.0});
+    }
+    svc.start();
+
+    RunResult result;
+    result.outcomes.assign(kProducers,
+                           std::vector<Outcome>(kRounds * kHosts));
+    std::atomic<long> released{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        std::vector<Outcome>& outcomes =
+            result.outcomes[static_cast<std::size_t>(p)];
+        const auto on_release = [&](const ReleaseResult& r) {
+          if (r.released) released.fetch_add(1, std::memory_order_relaxed);
+        };
+        for (int r = 0; r < kRounds; ++r) {
+          if (batched) {
+            auto requests = svc.take_request_buffer();
+            auto releases = svc.take_release_buffer();
+            for (int h = 0; h < kHosts; ++h) {
+              const HostId host = is_bogus(p, r, h) ? bogus : hosts[h];
+              requests.push_back(make_request(
+                  group, mine[p][h], host, qos_of(p, r, h)));
+              releases.push_back(HostRelease{host, mine[p][h], group});
+            }
+            svc.request_batch(
+                std::move(requests),
+                [&outcomes, r](const std::vector<FloorRequest>&,
+                               std::vector<Decision>& decisions) {
+                  for (std::size_t k = 0; k < decisions.size(); ++k) {
+                    outcomes[static_cast<std::size_t>(r) * kHosts + k] =
+                        decisions[k].outcome;
+                  }
+                });
+            // Capture only the long-lived atomic: the completion may run
+            // on a worker after this producer thread has returned, so the
+            // producer's own stack (on_release above) must not be touched.
+            svc.release_batch(
+                std::move(releases),
+                [&released](const std::vector<HostRelease>&,
+                            std::vector<ReleaseResult>& results) {
+                  for (const ReleaseResult& rr : results) {
+                    if (rr.released) {
+                      released.fetch_add(1, std::memory_order_relaxed);
+                    }
+                  }
+                });
+          } else {
+            for (int h = 0; h < kHosts; ++h) {
+              const HostId host = is_bogus(p, r, h) ? bogus : hosts[h];
+              Outcome* slot = &outcomes[static_cast<std::size_t>(r) * kHosts +
+                                        static_cast<std::size_t>(h)];
+              svc.request(make_request(group, mine[p][h], host,
+                                       qos_of(p, r, h)),
+                          [slot](const Decision& d) { *slot = d.outcome; });
+              svc.release_on(host, mine[p][h], group, on_release);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& producer : producers) producer.join();
+    svc.drain();
+    result.released = released.load();
+    EXPECT_EQ(svc.active_grants(), 0u);
+    EXPECT_EQ(svc.suspended_grants(), 0u);
+    EXPECT_EQ(svc.queued_requests(), 0u);
+    svc.stop();
+    return result;
+  };
+
+  const RunResult singleton = run(false);
+  const RunResult batch = run(true);
+  EXPECT_EQ(singleton.released, batch.released);
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(singleton.outcomes[static_cast<std::size_t>(p)],
+              batch.outcomes[static_cast<std::size_t>(p)])
+        << "outcome stream diverged for producer " << p;
+  }
+  // And the streams are non-trivial: both refusal and grant outcomes occur.
+  long granted = 0, denied = 0;
+  for (const Outcome outcome : batch.outcomes[0]) {
+    outcome == Outcome::kGranted ? ++granted : ++denied;
+  }
+  EXPECT_GT(granted, 0);
+  EXPECT_GT(denied, 0);
+}
+
+TEST_F(ParallelFixture, StoppedServiceRefusesBatchPerOpInsteadOfDropping) {
+  // A batch racing stop() (or issued before start) must come back the same
+  // size it went in, every slot carrying the singleton path's refusal —
+  // never silently shorter. Both the never-started and the stopped-after-
+  // running paths land on the same refuse() contract.
+  const auto m = add_joined("m", 1, hosts[0]);
+  const auto expect_refused = [&](ParallelShardedFloorService& svc) {
+    auto requests = svc.take_request_buffer();
+    for (int h = 0; h < 4; ++h) {
+      requests.push_back(make_request(group, m, hosts[h], 0.1));
+    }
+    requests.push_back(make_request(group, m, HostId{999}, 0.1));
+    bool decided = false;
+    svc.request_batch(std::move(requests),
+                      [&](const std::vector<FloorRequest>& reqs,
+                          std::vector<Decision>& decisions) {
+                        decided = true;
+                        ASSERT_EQ(decisions.size(), reqs.size());
+                        ASSERT_EQ(decisions.size(), 5u);
+                        for (int i = 0; i < 4; ++i) {
+                          EXPECT_EQ(decisions[i].outcome, Outcome::kDenied);
+                          EXPECT_EQ(decisions[i].reason,
+                                    "floor service is not running");
+                        }
+                        EXPECT_EQ(decisions[4].outcome, Outcome::kDenied);
+                        EXPECT_EQ(decisions[4].reason, "unknown host station");
+                      });
+    EXPECT_TRUE(decided);  // nothing enqueued: completion runs inline
+
+    auto releases = svc.take_release_buffer();
+    for (int h = 0; h < 4; ++h) {
+      releases.push_back(HostRelease{hosts[h], m, group});
+    }
+    bool released_back = false;
+    svc.release_batch(std::move(releases),
+                      [&](const std::vector<HostRelease>& reqs,
+                          std::vector<ReleaseResult>& results) {
+                        released_back = true;
+                        ASSERT_EQ(results.size(), reqs.size());
+                        for (const ReleaseResult& result : results) {
+                          EXPECT_FALSE(result.released);
+                        }
+                      });
+    EXPECT_TRUE(released_back);
+  };
+
+  expect_refused(service);  // never started
+
+  service.start();
+  auto d = service.request(make_request(group, m, hosts[0], 0.1)).get();
+  EXPECT_EQ(d.outcome, Outcome::kGranted);
+  EXPECT_TRUE(service.release(m, group).get().released);
+  service.stop();
+  expect_refused(service);  // stopped after running
+}
+
+TEST_F(ParallelFixture, EmptyBatchStillFiresCompletionCallback) {
+  service.start();
+  bool decided = false;
+  service.request_batch({}, [&](const std::vector<FloorRequest>& requests,
+                                std::vector<Decision>& decisions) {
+    decided = true;
+    EXPECT_TRUE(requests.empty());
+    EXPECT_TRUE(decisions.empty());
+  });
+  EXPECT_TRUE(decided);
+
+  bool released = false;
+  service.release_batch({}, [&](const std::vector<HostRelease>& releases,
+                                std::vector<ReleaseResult>& results) {
+    released = true;
+    EXPECT_TRUE(releases.empty());
+    EXPECT_TRUE(results.empty());
+  });
+  EXPECT_TRUE(released);
+  service.drain();
+}
+
 TEST_F(ParallelFixture, FewerWorkersThanShardsFoldsCorrectly) {
   // 8 shards on 2 workers: the shard -> worker fold must keep per-shard
   // FIFO and produce exactly the sequential outcomes.

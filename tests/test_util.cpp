@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
+#include <utility>
 #include <unordered_map>
 #include <vector>
 
@@ -195,6 +197,145 @@ TEST(MpscMailbox, ManyProducersOneConsumerKeepsEveryItem) {
   consumer.join();
 
   // Nothing lost, and each producer's items arrived in its own push order.
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(p)].size(),
+              static_cast<std::size_t>(kPerProducer));
+    for (int i = 0; i < kPerProducer; ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)], i);
+    }
+  }
+}
+
+TEST(MpscMailbox, PushAllPopAllKeepFifoWithTheItemInterface) {
+  MpscMailbox<int> box(8);
+  int bulk[3] = {1, 2, 3};
+  EXPECT_EQ(box.push_all(bulk, 3), 3u);
+  EXPECT_TRUE(box.push(4));  // mixing interfaces must not reorder
+  int more[2] = {5, 6};
+  EXPECT_EQ(box.push_all(more, 2), 2u);
+
+  std::vector<int> out;
+  out.reserve(box.capacity());
+  EXPECT_EQ(box.pop_all(out), 6u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  box.mark_done(6);
+  box.wait_idle();  // all drained AND marked done: must not hang
+
+  box.close();
+  EXPECT_EQ(box.pop_all(out), 0u);  // closed and drained
+  EXPECT_EQ(out.size(), 6u);        // 0 appended nothing
+}
+
+TEST(MpscMailbox, PushAllSplitsAcrossEpisodesWhenBatchExceedsCapacity) {
+  MpscMailbox<int> box(4);
+  std::vector<int> items(10);
+  for (int i = 0; i < 10; ++i) items[static_cast<std::size_t>(i)] = i;
+
+  std::thread producer([&] {
+    // Larger than capacity: push_all must block between episodes, not
+    // truncate — every item lands.
+    EXPECT_EQ(box.push_all(items.data(), items.size()), 10u);
+  });
+  std::vector<int> seen;
+  std::vector<int> buffer;
+  buffer.reserve(box.capacity());
+  while (seen.size() < 10) {
+    buffer.clear();
+    const std::size_t n = box.pop_all(buffer);
+    ASSERT_GT(n, 0u);
+    seen.insert(seen.end(), buffer.begin(), buffer.end());
+    box.mark_done(n);
+  }
+  producer.join();
+  box.wait_idle();
+  EXPECT_EQ(seen, items);  // single producer: order holds across episodes
+}
+
+TEST(MpscMailbox, PushAllOnClosedAcceptsNothingAndLeavesItemsIntact) {
+  MpscMailbox<std::vector<int>> box(4);
+  std::vector<std::vector<int>> items;
+  for (int i = 0; i < 4; ++i) items.push_back({i, i, i});
+
+  EXPECT_EQ(box.push_all(items.data(), 2), 2u);
+  box.close();
+  // The unaccepted tail must be left untouched so the producer can refuse
+  // each op individually instead of losing it.
+  EXPECT_EQ(box.push_all(items.data() + 2, 2), 0u);
+  EXPECT_EQ(items[2], (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(items[3], (std::vector<int>{3, 3, 3}));
+
+  std::vector<std::vector<int>> out;
+  EXPECT_EQ(box.pop_all(out), 2u);  // what landed before close still drains
+  box.mark_done(2);
+  EXPECT_EQ(box.pop_all(out), 0u);
+  box.wait_idle();
+}
+
+TEST(MpscMailbox, WaitIdleBlocksUntilBulkDrainIsMarkedDone) {
+  MpscMailbox<int> box(8);
+  int bulk[3] = {7, 8, 9};
+  ASSERT_EQ(box.push_all(bulk, 3), 3u);
+  std::vector<int> out;
+  ASSERT_EQ(box.pop_all(out), 3u);
+
+  // Dequeued but not processed: wait_idle must NOT return yet.
+  std::atomic<bool> idle{false};
+  std::thread waiter([&] {
+    box.wait_idle();
+    idle.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(idle.load());
+
+  box.mark_done(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(idle.load());  // one item still in flight
+
+  box.mark_done(1);
+  waiter.join();
+  EXPECT_TRUE(idle.load());
+}
+
+TEST(MpscMailbox, BulkProducersKeepPerProducerOrderThroughPopAll) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 490;
+  constexpr int kChunk = 7;  // deliberately co-prime with the capacity
+  MpscMailbox<std::pair<int, int>> box(16);
+
+  std::vector<std::vector<int>> seen(kProducers);
+  std::thread consumer([&] {
+    std::vector<std::pair<int, int>> buffer;
+    buffer.reserve(box.capacity());
+    while (true) {
+      buffer.clear();
+      const std::size_t n = box.pop_all(buffer);
+      if (n == 0) break;
+      for (const auto& [p, i] : buffer) {
+        seen[static_cast<std::size_t>(p)].push_back(i);
+      }
+      box.mark_done(n);
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<std::pair<int, int>> chunk(kChunk);
+      for (int base = 0; base < kPerProducer; base += kChunk) {
+        for (int i = 0; i < kChunk; ++i) {
+          chunk[static_cast<std::size_t>(i)] = {p, base + i};
+        }
+        EXPECT_EQ(box.push_all(chunk.data(), chunk.size()),
+                  static_cast<std::size_t>(kChunk));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  box.wait_idle();
+  box.close();
+  consumer.join();
+
+  // Nothing lost, and each producer's items arrived in its own push order
+  // even where a chunk was split across blocking episodes.
   for (int p = 0; p < kProducers; ++p) {
     ASSERT_EQ(seen[static_cast<std::size_t>(p)].size(),
               static_cast<std::size_t>(kPerProducer));
