@@ -17,14 +17,23 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <thread>
 
 #include <string>
 #include <vector>
 
+#include "util/sanitizers.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#endif
+
+// Stamped by the build (CMake: git rev-parse --short HEAD); "unknown" for
+// builds outside a git checkout.
+#ifndef DMPS_GIT_SHA
+#define DMPS_GIT_SHA "unknown"
 #endif
 
 namespace dmps::bench {
@@ -52,11 +61,26 @@ struct ScenarioTable {
   std::vector<std::vector<std::string>> rows;
 };
 
+/// One scenario's event-stream fingerprint (dmps::obs, DESIGN.md §7).
+/// `deterministic` scenarios (seeded, loss-free) gate in ci/bench_diff.py:
+/// a changed fingerprint there is a behavior change, not noise. Lossy or
+/// thread-timing-dependent scenarios record theirs report-only.
+struct Fingerprint {
+  std::string scenario;
+  std::uint64_t value = 0;
+  bool deterministic = false;
+};
+
 namespace detail {
 
 inline std::vector<ScenarioTable>& tables() {
   static std::vector<ScenarioTable> t;
   return t;
+}
+
+inline std::vector<Fingerprint>& fingerprints() {
+  static std::vector<Fingerprint> f;
+  return f;
 }
 
 /// Split a pipe-separated line into trimmed cells.
@@ -135,6 +159,37 @@ inline void row(const char* fmt, ...) {
   }
 }
 
+/// Record one scenario's fingerprint for BENCH_<name>.json (printed too, so
+/// a console run shows the values the gate will compare).
+inline void record_fingerprint(const std::string& scenario, std::uint64_t value,
+                               bool deterministic) {
+  detail::fingerprints().push_back(Fingerprint{scenario, value, deterministic});
+  std::printf("fingerprint %-32s %016llx%s\n", scenario.c_str(),
+              static_cast<unsigned long long>(value),
+              deterministic ? "" : "  (lossy: report-only)");
+}
+
+/// Strip a `--trace-out PATH` / `--trace-out=PATH` argument (ours, not
+/// google-benchmark's) and return the path, empty when absent. Call before
+/// run_micro so benchmark::Initialize never sees the flag.
+inline std::string take_trace_out(int& argc, char** argv) {
+  std::string path;
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      path = argv[i] + 12;
+      continue;
+    }
+    argv[keep++] = argv[i];
+  }
+  argc = keep;
+  return path;
+}
+
 /// One micro-benchmark result, captured off the console reporter.
 struct MicroResult {
   std::string name;
@@ -178,8 +233,50 @@ inline void write_json(const std::string& name,
   // Machine context for the regression gate: RSS is report-only (never a
   // gate — see ci/bench_diff.py), hw_threads explains scaling-table shape.
   out << "\",\n  \"ru_maxrss_kb\": " << peak_rss_kb()
-      << ",\n  \"hw_threads\": " << std::thread::hardware_concurrency()
-      << ",\n  \"tables\": [";
+      << ",\n  \"hw_threads\": " << std::thread::hardware_concurrency();
+  // Build provenance: what produced these numbers. bench_diff.py prints it
+  // next to every comparison so a cross-compiler or cross-flag diff is
+  // never mistaken for a regression.
+  out << ",\n  \"provenance\": {\"git_sha\": \"";
+  detail::json_escape(out, DMPS_GIT_SHA);
+  out << "\", \"compiler\": \"";
+#if defined(__clang_version__)
+  detail::json_escape(out, std::string("clang ") + __clang_version__);
+#elif defined(__VERSION__)
+  detail::json_escape(out, __VERSION__);
+#else
+  out << "unknown";
+#endif
+  out << "\", \"sanitizer\": \"";
+#if defined(DMPS_SANITIZER_THREAD)
+  out << "thread";
+#elif defined(DMPS_SANITIZER_ADDRESS)
+  out << "address";
+#else
+  out << "none";
+#endif
+  out << "\", \"ndebug\": ";
+#if defined(NDEBUG)
+  out << "true";
+#else
+  out << "false";
+#endif
+  out << "}";
+  // Scenario fingerprints as 16-hex-digit strings (JSON numbers lose
+  // precision past 2^53; a hash must round-trip bit-exactly).
+  out << ",\n  \"fingerprints\": [";
+  const auto& prints = detail::fingerprints();
+  for (std::size_t f = 0; f < prints.size(); ++f) {
+    if (f != 0) out << ',';
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(prints[f].value));
+    out << "\n    {\"scenario\": \"";
+    detail::json_escape(out, prints[f].scenario);
+    out << "\", \"value\": \"" << hex << "\", \"deterministic\": "
+        << (prints[f].deterministic ? "true" : "false") << "}";
+  }
+  out << "\n  ],\n  \"tables\": [";
   const auto& tables = detail::tables();
   for (std::size_t t = 0; t < tables.size(); ++t) {
     if (t != 0) out << ',';

@@ -16,8 +16,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <new>
+#include <string>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -25,6 +27,8 @@
 #include "floor/parallel_sharded_service.hpp"
 #include "floor/service.hpp"
 #include "floor/sharded_service.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/alloc_probe.hpp"
 #include "util/rng.hpp"
@@ -259,6 +263,11 @@ void degraded_sweep_scenario() {
   for (const int m : {1'000, 10'000, 100'000}) {
     for (const int k : {4, 64}) {
       DegradedWorld world(m, k);
+      // Trace only the probe phase (attached after preload): each probe is
+      // 1 decide + k suspends, each release k resumes — a seeded, loss-free,
+      // single-threaded stream, so its fingerprint gates in bench_diff.
+      obs::Tracer tracer;
+      world.cluster.service.set_tracer(&tracer);
       const int probes = 20;
       (void)world.probe_once_us();  // warm-up round, untimed
       double total_us = 0.0, max_us = 0.0;
@@ -267,8 +276,13 @@ void degraded_sweep_scenario() {
         total_us += us;
         if (us > max_us) max_us = us;
       }
+      world.cluster.service.set_tracer(nullptr);
       dmps::bench::row("%15d | %13d | %6d | %6.2f | %6.2f", m, k, probes,
                        total_us / probes, max_us);
+      char scenario[64];
+      std::snprintf(scenario, sizeof(scenario), "degraded/m%d_k%d", m, k);
+      dmps::bench::record_fingerprint(scenario, tracer.fingerprint(),
+                                      /*deterministic=*/true);
     }
   }
 }
@@ -911,7 +925,7 @@ void batched_submission_scenario() {
   }
 }
 
-void million_member_scenario() {
+void million_member_scenario(const std::string& trace_out) {
   // The memory-diet acceptance run: a whole conference population — one
   // million member stations by default — spread over 64 host shards folded
   // onto a handful of workers, driven through the batched pipeline twice.
@@ -949,8 +963,23 @@ void million_member_scenario() {
   sim::Simulator sim;
   clk::TrueClock clock{sim};
   GroupRegistry registry;
+  // Metrics and tracing stay ON during the alloc-probed warm pass: striped
+  // atomics, a preallocated ring per worker, and a fingerprint table whose
+  // keys all exist after pass 1 — so pass 2 proves observability itself is
+  // allocation-free, not just tolerated. Actor ids are bucketed to 12 bits
+  // (4096 fingerprint keys instead of one per station) and no time source
+  // is set (pure-throughput run; fingerprints never read timestamps).
+  obs::MetricsRegistry metrics;
+  obs::FloorInstruments instruments(metrics);
   ParallelShardedFloorService::Options options;
   options.workers = workers;
+  obs::TraceHub trace(workers, 4096);
+  for (std::size_t w = 0; w < trace.size(); ++w) {
+    trace.tracer(w).set_actor_mask(0xFFFu);
+    trace.tracer(w).reserve_actors(4096);
+  }
+  options.instruments = &instruments;
+  options.trace = &trace;
   ParallelShardedFloorService service{registry, clock,
                                       Thresholds{0.25, 0.05}, options};
   std::vector<HostId> hosts;
@@ -973,6 +1002,10 @@ void million_member_scenario() {
       members.push_back(member);
     }
   }
+  // Every instrument is registered (the pack did it at construction);
+  // freeze so a lazy registration inside the probed loop throws instead of
+  // silently allocating.
+  metrics.freeze();
   service.start();
 
   std::atomic<long> granted{0};
@@ -1036,6 +1069,20 @@ void million_member_scenario() {
                  granted.load(), other.load(), released.load(), expected);
     std::abort();
   }
+  // Double-entry bookkeeping: the registry's striped counters must merge
+  // to exactly what the callbacks counted (both passes, request + release).
+  if (metrics.value("floor.requests") != expected ||
+      metrics.value("floor.granted") != expected ||
+      metrics.value("floor.releases") != expected) {
+    std::fprintf(stderr,
+                 "million sweep metrics inconsistent (requests=%lld "
+                 "granted=%lld releases=%lld expected=%ld)\n",
+                 static_cast<long long>(metrics.value("floor.requests")),
+                 static_cast<long long>(metrics.value("floor.granted")),
+                 static_cast<long long>(metrics.value("floor.releases")),
+                 expected);
+    std::abort();
+  }
 #if !defined(DMPS_SANITIZED)
   const bool probe_active = true;
   if (hot_allocs != 0) {
@@ -1058,6 +1105,26 @@ void million_member_scenario() {
       static_cast<unsigned long long>(hot_allocs),
       static_cast<unsigned long long>(dmps::bench::peak_rss_kb() / 1024),
       probe_active ? "on" : "off");
+  // The merged fingerprint is order-insensitive per (shard, actor) key, so
+  // thread interleavings cannot change it: deterministic. The member count
+  // is part of the scenario name — sanitizer builds and DMPS_MILLION_MEMBERS
+  // runs produce differently-keyed (hence incomparable) fingerprints rather
+  // than false gate failures.
+  char scenario[64];
+  std::snprintf(scenario, sizeof(scenario), "million/m%zu", member_count);
+  dmps::bench::record_fingerprint(scenario, trace.fingerprint(),
+                                  /*deterministic=*/true);
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", trace_out.c_str());
+    } else {
+      trace.write_chrome_trace(out);
+      std::printf("wrote %s (chrome trace, %llu events dropped from rings)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(trace.dropped()));
+    }
+  }
 }
 
 void BM_ArbitrateGrantRelease(benchmark::State& state) {
@@ -1094,12 +1161,13 @@ BENCHMARK(BM_ArbitrateDegradedPath)->Arg(16)->Arg(128)->Unit(benchmark::kMicrose
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string trace_out = dmps::bench::take_trace_out(argc, argv);
   regime_scenario();
   throughput_scenario();
   degraded_sweep_scenario();
   sharded_sweep_scenario();
   parallel_strong_scaling_scenario();
   batched_submission_scenario();
-  million_member_scenario();
+  million_member_scenario(trace_out);
   return dmps::bench::run_micro(argc, argv, "bench_fcm_arbitrate");
 }

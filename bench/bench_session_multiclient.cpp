@@ -22,7 +22,10 @@
 // Micro: codec round-trip cost and a full small session per iteration.
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "session/presentation.hpp"
@@ -81,6 +84,20 @@ void sweep_scenario() {
                      stations, loss);
         std::abort();
       }
+      // Double-entry bookkeeping check: registry instruments vs the per-
+      // object counters they mirror.
+      if (!presentation.counters_consistent()) {
+        std::fprintf(stderr, "SESSION metrics inconsistent at stations=%d\n",
+                     stations);
+        std::abort();
+      }
+      char scenario[64];
+      std::snprintf(scenario, sizeof(scenario), "sweep/s%d_loss%g", stations,
+                    loss * 100.0);
+      // Loss-free runs are pure functions of the seed: their fingerprints
+      // gate in ci/bench_diff.py. Lossy ones are recorded for the report.
+      dmps::bench::record_fingerprint(scenario, presentation.fingerprint(),
+                                      loss == 0.0);
     }
   }
 }
@@ -170,6 +187,53 @@ void federation_scenario() {
                    c.hosts, c.stations);
       std::abort();
     }
+    char scenario[64];
+    std::snprintf(scenario, sizeof(scenario), "federation/h%d_s%d", c.hosts,
+                  c.stations);
+    dmps::bench::record_fingerprint(scenario, presentation.fingerprint(),
+                                    /*deterministic=*/false);  // 1% loss
+  }
+}
+
+void deterministic_federation_scenario(const std::string& trace_out) {
+  // The regression anchor: a seeded, LOSS-FREE queueing federation. With
+  // zero loss there are no retransmissions or duplicate paths, so the
+  // event stream — and its fingerprint — is a pure function of the seed
+  // and the arbitration policy: bit-identical across runs and compilers,
+  // and gated in ci/bench_diff.py. This is also the scenario whose Chrome
+  // trace CI archives (--trace-out).
+  session::SessionConfig config;
+  config.seed = 9001;
+  config.stations = 96;
+  config.hosts = 4;
+  config.loss = 0.0;
+  config.policy = floorctl::PolicyKind::kQueueing;
+  config.qos = media::QosRequirement{0.22, 0.22, 0.22};
+  config.media_len = Duration::seconds(4);
+  config.request_stagger = Duration::millis(40);
+  config.max_request_attempts = 1;
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(120));
+  if (stats.stuck_agents != 0 || stats.playbacks_finished != stats.granted ||
+      !presentation.counters_consistent()) {
+    std::fprintf(stderr, "SESSION deterministic federation violated\n");
+    std::abort();
+  }
+  dmps::bench::record_fingerprint("federation/deterministic",
+                                  presentation.fingerprint(),
+                                  /*deterministic=*/true);
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", trace_out.c_str());
+    } else {
+      presentation.tracer().write_chrome_trace(out);
+      std::printf("wrote %s (chrome trace, %llu events retained, %llu "
+                  "dropped)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(presentation.tracer().ring().size()),
+                  static_cast<unsigned long long>(presentation.tracer().dropped()));
+    }
   }
 }
 
@@ -206,8 +270,10 @@ BENCHMARK(BM_SessionEndToEnd)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string trace_out = dmps::bench::take_trace_out(argc, argv);
   sweep_scenario();
   overhead_scenario();
   federation_scenario();
+  deterministic_federation_scenario(trace_out);
   return dmps::bench::run_micro(argc, argv, "bench_session_multiclient");
 }

@@ -12,7 +12,10 @@ cells parse as numbers. Slowdowns beyond the threshold are flagged.
 
 Gating: with --fail-threshold the script exits non-zero when any micro
 cpu_time regresses beyond PCT, unless the micro's name contains one of
-the --allow-noisy substrings. Integrity failures gate too: a current-run
+the --allow-noisy substrings. Scenario fingerprints (dmps::obs event-stream
+hashes) gate when a scenario marked deterministic on both sides changes
+value — that is a behavior change, not measurement noise; lossy scenarios
+are report-only. Integrity failures gate too: a current-run
 BENCH json that is unparseable, or a baseline bench file with no
 current-run counterpart, fails the gate — those are exactly the
 whole-file failure modes a regression could hide behind.
@@ -113,6 +116,60 @@ def diff_tables(base, cur):
     return flagged
 
 
+def diff_fingerprints(base, cur):
+    """Rows of (scenario, old, new, flag) plus the gating mismatch count.
+
+    A fingerprint (dmps::obs, DESIGN.md §7) hashes a scenario's decision
+    event stream. Scenarios marked deterministic on BOTH sides gate on any
+    mismatch: the stream is a pure function of seed + policy, so a changed
+    value is a behavior change, not noise. Lossy scenarios (deterministic
+    false on either side) and scenarios missing from one side are
+    report-only. Baselines written before the field existed have no
+    "fingerprints" key and must pass untouched.
+    """
+    rows = []
+    mismatches = 0
+    base_by_scenario = {f["scenario"]: f for f in base.get("fingerprints", [])}
+    for f in cur.get("fingerprints", []):
+        b = base_by_scenario.get(f["scenario"])
+        if b is None:
+            rows.append((f["scenario"], None, f["value"], "new"))
+            continue
+        if b["value"] == f["value"]:
+            continue  # matches are the expected steady state: keep quiet
+        if b.get("deterministic") and f.get("deterministic"):
+            mismatches += 1
+            rows.append((f["scenario"], b["value"], f["value"],
+                         "FINGERPRINT MISMATCH"))
+        else:
+            rows.append((f["scenario"], b["value"], f["value"],
+                         "lossy (report-only)"))
+    for scenario in sorted(set(base_by_scenario) - {f["scenario"]
+                           for f in cur.get("fingerprints", [])}):
+        rows.append((scenario, base_by_scenario[scenario]["value"], None,
+                     "removed (report-only)"))
+    return rows, mismatches
+
+
+def provenance_line(base, cur):
+    """One line naming what produced each side's numbers, or None when
+    neither side recorded provenance (pre-provenance baselines stay silent
+    unless the current run has something to say)."""
+    bprov = base.get("provenance")
+    cprov = cur.get("provenance")
+    if not isinstance(cprov, dict) and not isinstance(bprov, dict):
+        return None
+
+    def fmt(prov):
+        if not isinstance(prov, dict):
+            return "unknown (pre-provenance baseline)"
+        return (f"{prov.get('git_sha', '?')} · {prov.get('compiler', '?')} · "
+                f"sanitizer={prov.get('sanitizer', '?')} · "
+                f"ndebug={prov.get('ndebug', '?')}")
+
+    return f"\nbuilt from: {fmt(bprov)} -> {fmt(cprov)}"
+
+
 def rss_line(base, cur):
     """Peak-RSS delta as a report-only line, or None.
 
@@ -153,6 +210,17 @@ def compare(baseline, current, threshold, allow_noisy):
         if base is None:
             report.append("_new bench, no baseline_")
             continue
+        prov = provenance_line(base, cur)
+        if prov:
+            report.append(prov)
+        prints, mismatches = diff_fingerprints(base, cur)
+        regressions += mismatches
+        if prints:
+            report.append("\n| fingerprint | prev | now | |")
+            report.append("|---|---|---|---|")
+            for scenario, old, new, flag in prints:
+                report.append(f"| {scenario} | {old or '—'} | {new or '—'} | "
+                              f"{flag} |")
         micro = diff_micro(base, cur, threshold, allow_noisy)
         if micro:
             report.append("\n| micro | prev cpu | now cpu | delta | |")
@@ -190,9 +258,11 @@ def compare(baseline, current, threshold, allow_noisy):
     report.append("")
     if regressions:
         report.append(f"**{regressions} gating regression(s) (micro beyond "
-                      f"{threshold:.0f}% or missing bench output).**")
+                      f"{threshold:.0f}%, deterministic fingerprint mismatch,"
+                      " or missing bench output).**")
     else:
-        report.append("No gating micro regressions beyond the threshold.")
+        report.append("No gating micro regressions or deterministic "
+                      "fingerprint mismatches.")
     return report, regressions
 
 

@@ -29,6 +29,11 @@ def table(title, columns, rows):
     return {"title": title, "columns": columns, "rows": rows}
 
 
+def fingerprint(scenario, value, deterministic):
+    return {"scenario": scenario, "value": value,
+            "deterministic": deterministic}
+
+
 class CompareGating(unittest.TestCase):
     def test_no_baseline_is_not_a_regression(self):
         lines, regressions = bench_diff.compare(
@@ -117,6 +122,67 @@ class CompareGating(unittest.TestCase):
         lines, regressions = bench_diff.compare(cur, base, 25.0, [])
         self.assertEqual(regressions, 0)
         self.assertFalse(any("peak RSS" in line for line in lines))
+
+    def test_deterministic_fingerprint_mismatch_gates(self):
+        base = {"BENCH_x.json": dict(bench(), fingerprints=[
+            fingerprint("federation/deterministic", "aaaa", True)])}
+        cur = {"BENCH_x.json": dict(bench(), fingerprints=[
+            fingerprint("federation/deterministic", "bbbb", True)])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 1)
+        self.assertTrue(any("FINGERPRINT MISMATCH" in line for line in lines))
+
+    def test_matching_fingerprints_pass_quietly(self):
+        both = {"BENCH_x.json": dict(bench(), fingerprints=[
+            fingerprint("federation/deterministic", "aaaa", True)])}
+        lines, regressions = bench_diff.compare(both, dict(both), 25.0, [])
+        self.assertEqual(regressions, 0)
+        # Matching values produce no per-scenario table rows at all.
+        self.assertFalse(any("federation/deterministic" in line
+                             for line in lines))
+
+    def test_lossy_fingerprint_mismatch_reports_but_never_gates(self):
+        # Either side lossy (loss > 0, thread-timing-dependent) -> no gate.
+        base = {"BENCH_x.json": dict(bench(), fingerprints=[
+            fingerprint("sweep/s8_loss5", "aaaa", False),
+            fingerprint("sweep/s8_loss0", "cccc", True)])}
+        cur = {"BENCH_x.json": dict(bench(), fingerprints=[
+            fingerprint("sweep/s8_loss5", "bbbb", False),
+            fingerprint("sweep/s8_loss0", "cccc", False)])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("lossy (report-only)" in line for line in lines))
+
+    def test_new_and_removed_fingerprints_do_not_gate(self):
+        base = {"BENCH_x.json": dict(bench(), fingerprints=[
+            fingerprint("million/m50000", "aaaa", True)])}
+        cur = {"BENCH_x.json": dict(bench(), fingerprints=[
+            fingerprint("million/m1000000", "bbbb", True)])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("removed (report-only)" in line for line in lines))
+
+    def test_baseline_without_fingerprints_field_passes(self):
+        # Pre-observability baselines have no "fingerprints" key at all.
+        base = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 100.0)])}
+        cur = {"BENCH_x.json": dict(
+            bench(micro=[micro("BM_Hot", 100.0)]),
+            fingerprints=[fingerprint("federation/deterministic", "aaaa",
+                                      True)])}
+        _, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+
+    def test_provenance_is_reported(self):
+        base = {"BENCH_x.json": dict(bench(), provenance={
+            "git_sha": "abc1234", "compiler": "g++ 12", "sanitizer": "none",
+            "ndebug": True})}
+        cur = {"BENCH_x.json": dict(bench(), provenance={
+            "git_sha": "def5678", "compiler": "clang 17", "sanitizer": "none",
+            "ndebug": True})}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("abc1234" in line and "def5678" in line
+                            for line in lines))
 
     def test_shape_mismatched_tables_are_skipped(self):
         base = {"BENCH_x.json": bench(

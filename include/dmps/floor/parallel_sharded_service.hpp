@@ -77,6 +77,12 @@ class ParallelShardedFloorService {
     std::size_t workers = 0;
     /// Bound of each worker's mailbox (backpressure: producers block).
     std::size_t mailbox_capacity = 1024;
+    /// Instrument pack shared by every shard; nullptr = the global pack.
+    obs::FloorInstruments* instruments = nullptr;
+    /// Optional trace hub: worker w (and its shards) emit into tracer
+    /// w % hub.size(), so tracers are single-writer without locks. nullptr
+    /// disables tracing. Must outlive the service.
+    obs::TraceHub* trace = nullptr;
   };
 
   using DecisionCallback = std::function<void(const Decision&)>;
@@ -186,6 +192,10 @@ class ParallelShardedFloorService {
   /// Only meaningful when the binary installs the util/alloc_probe
   /// operator-new hook; quiescent-state read (drain() first).
   std::uint64_t hot_loop_allocations() const;
+
+  /// Ops currently queued across every worker mailbox — a live depth
+  /// signal (callback-gauge food), approximate while producers run.
+  std::size_t mailbox_backlog() const;
 
   // ------------------------------------------------------------ accessors
   FloorService* shard(HostId host);
@@ -309,6 +319,7 @@ class ParallelShardedFloorService {
   clk::Clock& clock_;
   resource::Thresholds thresholds_;
   Options options_;
+  obs::FloorInstruments* obs_;  // resolved from Options at construction
   std::vector<std::unique_ptr<Shard>> shards_;  // registration order
   std::unordered_map<HostId::value_type, std::size_t> shard_index_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -40,6 +40,8 @@
 #include "floor/group.hpp"
 #include "floor/policy.hpp"
 #include "floor/types.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace dmps::floorctl {
 
@@ -90,9 +92,22 @@ class FloorService {
 
   GrantStore& grants() { return store_; }
 
+  /// Observability (DESIGN.md §7). Instruments default to the process-
+  /// global FloorInstruments pack; a session passes its own. The tracer is
+  /// optional (nullptr = no event stream). Owner-thread calls, like every
+  /// other mutation — set both before the service starts arbitrating.
+  void set_instruments(obs::FloorInstruments* instruments) {
+    obs_ = instruments != nullptr ? instruments : &obs::FloorInstruments::global();
+  }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   ArbitrationPolicy& policy_for(const Group& group, FcmMode request_mode);
   void sweep_host(GrantStore::HostView& host, ReleaseResult& out);
+  Decision decide(const GroupSnapshot& snapshot, const FloorRequest& request);
+  /// Fold a release/cancel/sweep result into counters and the trace.
+  void record_result(const ReleaseResult& result, std::uint32_t shard_hint);
   /// The cached snapshot, refreshed when the registry's epoch moved. Owner-
   /// thread only (one epoch probe per call, no shared_ptr churn).
   const GroupSnapshot& refreshed_snapshot();
@@ -105,6 +120,11 @@ class FloorService {
   QueueingPolicy queueing_;
   ChairedPolicy chaired_three_regime_;
   ChairedPolicy chaired_queueing_;
+  obs::FloorInstruments* obs_;
+  obs::Tracer* tracer_ = nullptr;
+  /// Decide-latency sampling phase (owner-thread only): one timed decide
+  /// per 64 keeps the steady-state cost of the histogram near zero.
+  std::uint32_t decide_sample_ = 0;
 };
 
 }  // namespace dmps::floorctl

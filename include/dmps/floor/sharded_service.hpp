@@ -77,6 +77,12 @@ class ShardedFloorService {
   /// Capacity-change hook, routed to the shard owning `host`.
   ReleaseResult sweep(HostId host);
 
+  /// Wire instruments and an (optional) tracer into every shard, current
+  /// and future. nullptr instruments fall back to the global pack; a
+  /// nullptr tracer disables the event stream. Setup-phase call.
+  void set_observability(obs::FloorInstruments* instruments,
+                         obs::Tracer* tracer);
+
   std::size_t shard_count() const { return shards_.size(); }
   const resource::Thresholds& thresholds() const { return thresholds_; }
 
@@ -91,6 +97,8 @@ class ShardedFloorService {
   const GroupRegistry& registry_;
   clk::Clock& clock_;
   resource::Thresholds thresholds_;
+  obs::FloorInstruments* obs_;
+  obs::Tracer* tracer_ = nullptr;
   // Ordered by host id: release fan-out and aggregates are deterministic.
   std::map<HostId::value_type, std::unique_ptr<FloorService>> shards_;
   // holder (member, group) -> shards holding its grants or parked requests.

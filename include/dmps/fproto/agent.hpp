@@ -29,6 +29,8 @@
 
 #include "fproto/codec.hpp"
 #include "net/sim_network.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace dmps::fproto {
@@ -51,6 +53,12 @@ std::string_view to_string(AgentState state);
 struct AgentConfig {
   util::Duration retry = util::Duration::millis(250);  // retransmit period
   int max_tries = 200;  // per operation, then kFailed
+  /// Wire instrument pack; nullptr = the process-global pack. A session
+  /// passes its own so per-session counters stay isolated.
+  obs::WireInstruments* obs = nullptr;
+  /// Optional event tracer (nullptr = no event stream). Must outlive the
+  /// agent.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct AgentEvents {
@@ -112,6 +120,10 @@ class FloorAgent {
   void begin_op(AgentState next, MsgKind kind, net::Payload ints);
   void finish_op(AgentState next);
   void retry_tick();
+  /// One duplicate suppressed: member counter, instrument pack, trace.
+  void drop_duplicate();
+  /// One server-driven notification acked (an ack is also a send).
+  void send_ack(MsgKind kind, net::Payload ints);
   void handle_join_ack(const net::Message& msg);
   void handle_leave_ack(const net::Message& msg);
   void handle_grant(const net::Message& msg);
@@ -148,6 +160,9 @@ class FloorAgent {
   std::uint64_t retransmits_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;
   std::uint64_t acks_sent_ = 0;
+
+  obs::WireInstruments* wire_;  // resolved once at construction
+  obs::Tracer* tracer_;
 };
 
 }  // namespace dmps::fproto

@@ -42,6 +42,8 @@
 #include "floor/service.hpp"
 #include "fproto/codec.hpp"
 #include "net/sim_network.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace dmps::fproto {
@@ -49,6 +51,11 @@ namespace dmps::fproto {
 struct ServerConfig {
   util::Duration notify_retry = util::Duration::millis(250);
   int notify_max_tries = 200;  // then the notification is abandoned
+  /// Wire instrument pack; nullptr = the process-global pack.
+  obs::WireInstruments* obs = nullptr;
+  /// Optional event tracer (nullptr = no event stream). Must outlive the
+  /// server.
+  obs::Tracer* tracer = nullptr;
 };
 
 class FloorServer {
@@ -105,6 +112,11 @@ class FloorServer {
 
   void release_holder(floorctl::MemberId member, floorctl::GroupId group);
   void send_suspends(const std::vector<floorctl::Holder>& suspended);
+  /// One datagram on the wire: member counter, instrument pack, send.
+  void transmit(net::NodeId node, net::MsgType type, const net::Payload& ints);
+  /// A duplicate answered from stored state (request replay, release
+  /// re-ack): the idempotency machinery's hit counter.
+  void replay_hit(floorctl::MemberId member, floorctl::HostId host);
   void age_out_records(floorctl::MemberId member, std::uint64_t seq);
   void notify(floorctl::MemberId member, MsgKind kind, std::uint64_t request_id);
   void notify_tick(std::uint64_t notify_id);
@@ -144,6 +156,9 @@ class FloorServer {
   std::uint64_t resumes_sent_ = 0;
   std::uint64_t notify_retransmits_ = 0;
   std::uint64_t notifies_abandoned_ = 0;
+
+  obs::WireInstruments* wire_;  // resolved once at construction
+  obs::Tracer* tracer_;
 };
 
 }  // namespace dmps::fproto

@@ -1,0 +1,145 @@
+#pragma once
+// MetricsRegistry: named ownership of obs instruments, plus the one JSON
+// snapshot everything reports through.
+//
+// A registry owns its instruments in deques (stable addresses — the
+// atomics are neither copyable nor movable) and hands out references that
+// stay valid for the registry's lifetime. Registration is idempotent by
+// name: asking for an existing name returns the existing instrument, so
+// several components can share one logical counter by agreeing on its
+// name. Callback gauges register a std::function read at snapshot time —
+// the pull-style instrument for levels that already live in component
+// state (GrantStore occupancy, mailbox depth, network totals), costing the
+// hot path nothing.
+//
+// The pre-registration rule (DESIGN.md §7): register every instrument
+// before spawning workers, then freeze(). A frozen registry refuses new
+// registrations with std::logic_error — catching the "first increment
+// allocates inside the alloc-probed hot loop" bug at the source. Lookups
+// and increments are always allowed.
+//
+// Instrument packs (FloorInstruments, WireInstruments) bundle the
+// instruments one layer writes, resolved once at construction so the hot
+// path holds plain references. Components default to the process-global
+// pack; a Presentation builds per-session packs over its own registry.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dmps::obs {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. Throws std::logic_error when frozen and the
+  /// name is new.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  /// Pull-style gauge: `fn` is invoked at snapshot (write_json / value)
+  /// time. Re-registering a name replaces its callback.
+  void gauge_callback(const std::string& name, std::function<std::int64_t()> fn);
+
+  /// No further registrations; increments and reads stay allowed.
+  void freeze();
+  bool frozen() const;
+
+  /// Current value of a counter, gauge or callback gauge by name; 0 for
+  /// unknown names (snapshot readers must not throw mid-report).
+  std::int64_t value(std::string_view name) const;
+
+  /// Snapshot every instrument as one JSON object, names sorted:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,p50,
+  /// p90,p99}}}.
+  void write_json(std::ostream& out) const;
+
+  /// The process-default registry components fall back to when no
+  /// per-session registry is wired in.
+  static MetricsRegistry& global();
+
+ private:
+  struct NamedCounter {
+    std::string name;
+    Counter instrument;
+  };
+  struct NamedGauge {
+    std::string name;
+    Gauge instrument;
+  };
+  struct NamedHistogram {
+    std::string name;
+    Histogram instrument;
+  };
+  struct CallbackGauge {
+    std::string name;
+    std::function<std::int64_t()> fn;
+  };
+
+  mutable std::mutex mu_;
+  bool frozen_ = false;
+  std::deque<NamedCounter> counters_;
+  std::deque<NamedGauge> gauges_;
+  std::deque<NamedHistogram> histograms_;
+  std::vector<CallbackGauge> callbacks_;
+};
+
+/// The floor-control layer's instruments (FloorService and both sharded
+/// facades write these). One pack per registry; names are stable API — the
+/// session stats migration and the bench JSON read them back by name.
+struct FloorInstruments {
+  Counter& requests;           // floor.requests
+  Counter& granted;            // floor.granted
+  Counter& granted_degraded;   // floor.granted_degraded
+  Counter& denied;             // floor.denied
+  Counter& aborted;            // floor.aborted
+  Counter& queued;             // floor.queued
+  Counter& suspends;           // floor.suspends
+  Counter& resumes;            // floor.resumes
+  Counter& promotions;         // floor.promotions
+  Counter& releases;           // floor.releases
+  Counter& sweeps;             // floor.sweeps (capacity-change hook calls)
+  Counter& sweep_passes;       // floor.sweep_passes (fixpoint iterations)
+  Counter& routes_recorded;    // floor.routes_recorded
+  Counter& route_fanout;       // floor.route_fanout (shards per release)
+  Histogram& decide_latency_ns;  // floor.decide_latency_ns (1-in-64 sampled)
+  Histogram& mailbox_drain;      // floor.mailbox_drain (ops per pop_all)
+
+  explicit FloorInstruments(MetricsRegistry& registry);
+  static FloorInstruments& global();
+};
+
+/// The fproto wire layer's instruments (FloorAgent + FloorServer), plus
+/// the session-level grant latency.
+struct WireInstruments {
+  Counter& agent_sends;              // wire.agent.sends
+  Counter& agent_retransmits;        // wire.agent.retransmits
+  Counter& agent_dup_drops;          // wire.agent.dup_drops
+  Counter& agent_acks;               // wire.agent.acks
+  Counter& server_sends;             // wire.server.sends
+  Counter& server_arbitrations;      // wire.server.arbitrations
+  Counter& server_replay_hits;       // wire.server.replay_hits
+  Counter& server_grants;            // wire.server.grants
+  Counter& server_denies;            // wire.server.denies
+  Counter& server_queued;            // wire.server.queued
+  Counter& server_promotions;        // wire.server.promotions
+  Counter& server_suspends;          // wire.server.suspends
+  Counter& server_resumes;           // wire.server.resumes
+  Counter& server_notify_retransmits;  // wire.server.notify_retransmits
+  Histogram& grant_latency_us;       // wire.grant_latency_us (request->grant)
+
+  explicit WireInstruments(MetricsRegistry& registry);
+  static WireInstruments& global();
+};
+
+}  // namespace dmps::obs

@@ -36,6 +36,8 @@
 #include "fproto/agent.hpp"
 #include "fproto/server.hpp"
 #include "net/sim_network.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace dmps::session {
 
@@ -74,6 +76,9 @@ struct SessionConfig {
   /// playback starts (the user-skip workload). A skip that lands while the
   /// playout is suspended or already finished is refused by the engine.
   util::Duration skip_after = util::Duration::zero();
+  /// Agent/server tuning. Their obs/tracer pointers are honored when set;
+  /// left null, the session wires in its own registry-backed packs and
+  /// session tracer.
   fproto::AgentConfig agent;
   fproto::ServerConfig server;
 };
@@ -145,6 +150,22 @@ class Presentation {
   const SessionConfig& config() const { return config_; }
   floorctl::ShardedFloorService& arbitration() { return *arbitration_; }
 
+  /// The session's private metrics registry (DESIGN.md §7): every floor
+  /// and wire instrument of this session lives here, isolated from the
+  /// process-global packs.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The session-wide tracer (single-writer: the whole session runs on one
+  /// simulator thread). write_chrome_trace()/fingerprint() live on it.
+  obs::Tracer& tracer() { return tracer_; }
+  /// The scenario fingerprint over every decision-relevant event so far
+  /// (timestamps excluded — identical across runs for a seeded loss-free
+  /// scenario, on any compiler).
+  std::uint64_t fingerprint() const { return tracer_.fingerprint(); }
+  /// Cross-checks SessionStats counters that are double-entry booked (per-
+  /// object members AND registry instruments): true when every pair agrees.
+  bool counters_consistent() const;
+
  private:
   struct Station;
   /// One federated floor endpoint: the FloorServer bound to a host shard.
@@ -163,6 +184,16 @@ class Presentation {
   SessionConfig config_;
   sim::Simulator sim_;
   net::SimNetwork network_;
+
+  // Observability (DESIGN.md §7). Declared before the floor/wire components
+  // so the packs outlive everything holding a pointer to them. All
+  // instruments register here during construction (setup phase); run()
+  // freezes the registry, so a hot-path lazy registration would throw
+  // instead of silently allocating.
+  obs::MetricsRegistry metrics_;
+  obs::FloorInstruments floor_obs_;
+  obs::WireInstruments wire_obs_;
+  obs::Tracer tracer_;
 
   // Server station (clock sync + endpoint 0).
   net::NodeId server_node_;

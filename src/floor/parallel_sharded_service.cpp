@@ -20,7 +20,11 @@ ParallelShardedFloorService::ParallelShardedFloorService(
     : registry_(registry),
       clock_(clock),
       thresholds_(thresholds),
-      options_(options) {}
+      options_(options),
+      // Resolved here (setup phase) so the global pack's lazy registration
+      // can never fire inside an alloc-probed worker drain.
+      obs_(options.instruments != nullptr ? options.instruments
+                                          : &obs::FloorInstruments::global()) {}
 
 ParallelShardedFloorService::~ParallelShardedFloorService() { stop(); }
 
@@ -39,6 +43,7 @@ void ParallelShardedFloorService::add_host(HostId host,
     shard_index_.emplace(host.value(), shards_.size());
     shards_.push_back(
         std::make_unique<Shard>(host, registry_, clock_, thresholds_));
+    shards_.back()->service.set_instruments(obs_);
     it = shard_index_.find(host.value());
   }
   shards_[it->second]->service.add_host(host, capacity);
@@ -60,6 +65,12 @@ void ParallelShardedFloorService::start() {
   }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->worker = s % workers;
+    // A shard traces into its worker's tracer: the worker owns the shard,
+    // so each tracer ring stays single-writer without a lock.
+    if (options_.trace != nullptr && options_.trace->size() > 0) {
+      shards_[s]->service.set_tracer(
+          &options_.trace->tracer(shards_[s]->worker % options_.trace->size()));
+    }
   }
   // Batch completions park buffers from the worker threads; reserving the
   // arenas here keeps even a deep pipelined backlog from growing them
@@ -105,7 +116,18 @@ void ParallelShardedFloorService::worker_main(std::size_t index) {
   // exactly the execute() run (clear() after mark_done only frees).
   std::vector<Op> backlog;
   backlog.reserve(worker.mailbox.capacity());
+  obs::Tracer* tracer =
+      options_.trace != nullptr && options_.trace->size() > 0
+          ? &options_.trace->tracer(index % options_.trace->size())
+          : nullptr;
   while (const std::size_t n = worker.mailbox.pop_all(backlog)) {
+    // Drain size observed outside the probed bracket (the probe covers
+    // exactly the execute() run); both sinks are allocation-free anyway.
+    obs_->mailbox_drain.record(static_cast<std::int64_t>(n));
+    if (tracer != nullptr) {
+      tracer->emit(obs::Ev::kMailboxDrain, static_cast<std::uint32_t>(index),
+                   0, 0, static_cast<std::int64_t>(n));
+    }
     const std::uint64_t before = util::alloc_probe_count();
     for (Op& op : backlog) execute(op);
     worker.hot_allocs.fetch_add(util::alloc_probe_count() - before,
@@ -120,6 +142,12 @@ std::uint64_t ParallelShardedFloorService::hot_loop_allocations() const {
   for (const auto& worker : workers_) {
     total += worker->hot_allocs.load(std::memory_order_relaxed);
   }
+  return total;
+}
+
+std::size_t ParallelShardedFloorService::mailbox_backlog() const {
+  std::size_t total = 0;
+  for (const auto& worker : workers_) total += worker->mailbox.size();
   return total;
 }
 
@@ -152,6 +180,7 @@ void ParallelShardedFloorService::record_route(MemberId member, GroupId group,
   auto& hosts = s.routes[key];
   if (std::find(hosts.begin(), hosts.end(), host) == hosts.end()) {
     hosts.push_back(host);
+    obs_->routes_recorded.add();
   }
 }
 
@@ -553,6 +582,7 @@ void ParallelShardedFloorService::fan_out(Op::Kind kind, const HostList& hosts,
     if (done) done(ReleaseResult{});
     return;
   }
+  obs_->route_fanout.add(static_cast<std::int64_t>(hosts.size()));
   std::shared_ptr<FanOut> fan;
   if (hosts.size() > 1) {
     fan = std::make_shared<FanOut>();

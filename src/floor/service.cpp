@@ -1,5 +1,7 @@
 #include "floor/service.hpp"
 
+#include <chrono>
+
 namespace dmps::floorctl {
 
 FloorService::FloorService(const GroupRegistry& registry, clk::Clock& clock,
@@ -10,7 +12,10 @@ FloorService::FloorService(const GroupRegistry& registry, clk::Clock& clock,
       three_regime_(thresholds),
       queueing_(thresholds),
       chaired_three_regime_(three_regime_),
-      chaired_queueing_(queueing_) {}
+      chaired_queueing_(queueing_),
+      // Resolved at construction (setup phase) so the global pack's lazy
+      // registration can never fire inside an alloc-probed worker loop.
+      obs_(&obs::FloorInstruments::global()) {}
 
 void FloorService::add_host(HostId host, resource::Resource capacity) {
   store_.add_host(host, capacity);
@@ -44,6 +49,43 @@ Decision FloorService::request(const FloorRequest& request) {
 
 Decision FloorService::request(const GroupSnapshot& snapshot,
                                const FloorRequest& request) {
+  obs_->requests.add();
+  // 1-in-64 sampled decide latency: two clock reads per sampled op keeps
+  // the histogram's steady-state cost invisible next to arbitration.
+  const bool timed = (decide_sample_++ & 63u) == 0u;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+  const Decision decision = decide(snapshot, request);
+  if (timed) {
+    obs_->decide_latency_ns.record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  switch (decision.outcome) {
+    case Outcome::kGranted: obs_->granted.add(); break;
+    case Outcome::kGrantedDegraded: obs_->granted_degraded.add(); break;
+    case Outcome::kAborted: obs_->aborted.add(); break;
+    case Outcome::kDenied: obs_->denied.add(); break;
+    case Outcome::kQueued: obs_->queued.add(); break;
+  }
+  if (!decision.suspended.empty()) {
+    obs_->suspends.add(static_cast<std::int64_t>(decision.suspended.size()));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::Ev::kDecide, request.member.value(),
+                  request.host.value(),
+                  static_cast<std::uint8_t>(decision.outcome));
+    for (const Holder& holder : decision.suspended) {
+      tracer_->emit(obs::Ev::kSuspend, holder.member.value(),
+                    request.host.value());
+    }
+  }
+  return decision;
+}
+
+Decision FloorService::decide(const GroupSnapshot& snapshot,
+                              const FloorRequest& request) {
   Decision decision;
   if (!snapshot.has_member(request.member) ||
       !snapshot.in_group(request.member, request.group)) {
@@ -85,6 +127,12 @@ ReleaseResult FloorService::release(const GroupSnapshot& snapshot,
     auto host = store_.view(host_id);
     if (host) sweep_host(*host, result);
   }
+  obs_->releases.add();
+  const std::uint32_t shard_hint = hosts.empty() ? 0u : hosts[0].value();
+  if (tracer_ != nullptr && result.released) {
+    tracer_->emit(obs::Ev::kRelease, member.value(), shard_hint);
+  }
+  record_result(result, shard_hint);
   return result;
 }
 
@@ -103,14 +151,45 @@ ReleaseResult FloorService::cancel(const GroupSnapshot& snapshot,
     auto host = store_.view(host_id);
     if (host) sweep_host(*host, result);
   }
+  record_result(result, hosts.empty() ? 0u : hosts[0].value());
   return result;
 }
 
 ReleaseResult FloorService::sweep(HostId host_id) {
   ReleaseResult result;
+  obs_->sweeps.add();
   auto host = store_.view(host_id);
   if (host) sweep_host(*host, result);
+  record_result(result, host_id.value());
   return result;
+}
+
+void FloorService::record_result(const ReleaseResult& result,
+                                 std::uint32_t shard_hint) {
+  if (!result.resumed.empty()) {
+    obs_->resumes.add(static_cast<std::int64_t>(result.resumed.size()));
+  }
+  if (!result.promoted.empty()) {
+    obs_->promotions.add(static_cast<std::int64_t>(result.promoted.size()));
+  }
+  for (const Promotion& promotion : result.promoted) {
+    if (!promotion.decision.suspended.empty()) {
+      obs_->suspends.add(
+          static_cast<std::int64_t>(promotion.decision.suspended.size()));
+    }
+  }
+  if (tracer_ == nullptr) return;
+  for (const Holder& holder : result.resumed) {
+    tracer_->emit(obs::Ev::kResume, holder.member.value(), shard_hint);
+  }
+  for (const Promotion& promotion : result.promoted) {
+    tracer_->emit(obs::Ev::kPromote, promotion.holder.member.value(),
+                  shard_hint,
+                  static_cast<std::uint8_t>(promotion.decision.outcome));
+    for (const Holder& holder : promotion.decision.suspended) {
+      tracer_->emit(obs::Ev::kSuspend, holder.member.value(), shard_hint);
+    }
+  }
 }
 
 void FloorService::sweep_host(GrantStore::HostView& host, ReleaseResult& out) {
@@ -122,11 +201,17 @@ void FloorService::sweep_host(GrantStore::HostView& host, ReleaseResult& out) {
   // release frees nothing). Terminates: each extra pass requires progress,
   // promotions drain a finite queue, and a resumed holder can only be
   // re-suspended by a promotion.
+  std::int64_t passes = 0;
   for (;;) {
+    ++passes;
     const std::size_t before = out.resumed.size() + out.promoted.size();
     host.resume_suspended(out.resumed);
     queueing_.promote_host(host, out);
-    if (out.resumed.size() + out.promoted.size() == before) return;
+    if (out.resumed.size() + out.promoted.size() == before) break;
+  }
+  obs_->sweep_passes.add(passes);
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::Ev::kSweep, 0, host.host().value(), 0, passes);
   }
 }
 

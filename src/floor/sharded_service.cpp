@@ -8,7 +8,10 @@ namespace dmps::floorctl {
 ShardedFloorService::ShardedFloorService(const GroupRegistry& registry,
                                          clk::Clock& clock,
                                          resource::Thresholds thresholds)
-    : registry_(registry), clock_(clock), thresholds_(thresholds) {}
+    : registry_(registry),
+      clock_(clock),
+      thresholds_(thresholds),
+      obs_(&obs::FloorInstruments::global()) {}
 
 void ShardedFloorService::add_host(HostId host, resource::Resource capacity) {
   auto it = shards_.find(host.value());
@@ -17,8 +20,21 @@ void ShardedFloorService::add_host(HostId host, resource::Resource capacity) {
              .emplace(host.value(), std::make_unique<FloorService>(
                                         registry_, clock_, thresholds_))
              .first;
+    it->second->set_instruments(obs_);
+    it->second->set_tracer(tracer_);
   }
   it->second->add_host(host, capacity);
+}
+
+void ShardedFloorService::set_observability(obs::FloorInstruments* instruments,
+                                            obs::Tracer* tracer) {
+  obs_ = instruments != nullptr ? instruments
+                                : &obs::FloorInstruments::global();
+  tracer_ = tracer;
+  for (auto& [id, shard] : shards_) {
+    shard->set_instruments(obs_);
+    shard->set_tracer(tracer_);
+  }
 }
 
 FloorService* ShardedFloorService::shard(HostId host) {
@@ -47,6 +63,7 @@ Decision ShardedFloorService::request(const FloorRequest& request) {
     auto& hosts = routes_[holder_key(request.member, request.group)];
     if (std::find(hosts.begin(), hosts.end(), request.host) == hosts.end()) {
       hosts.push_back(request.host);
+      obs_->routes_recorded.add();
     }
   }
   return decision;
@@ -71,6 +88,7 @@ ReleaseResult ShardedFloorService::release(MemberId member, GroupId group) {
   // Iterate in place (release() on a shard never touches routes_), then
   // clear but KEEP the entry: the reused hash node and inline storage are
   // what keep the steady-state request/release cycle off the heap.
+  obs_->route_fanout.add(static_cast<std::int64_t>(route->second.size()));
   for (const HostId host : route->second) {
     if (FloorService* owner = shard(host)) {
       merge_release_results(result, owner->release(member, group));
@@ -111,6 +129,7 @@ ReleaseResult ShardedFloorService::cancel(MemberId member, GroupId group) {
   ReleaseResult result;
   const auto route = routes_.find(holder_key(member, group));
   if (route == routes_.end()) return result;
+  obs_->route_fanout.add(static_cast<std::int64_t>(route->second.size()));
   for (const HostId host : route->second) {
     if (FloorService* owner = shard(host)) {
       merge_release_results(result, owner->cancel(member, group));

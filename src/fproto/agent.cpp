@@ -31,7 +31,11 @@ FloorAgent::FloorAgent(net::Demux& demux, net::NodeId server,
       group_(group),
       host_(host),
       config_(config),
-      events_(std::move(events)) {
+      events_(std::move(events)),
+      // Resolved once (setup phase) so the global pack's lazy registration
+      // never fires on a message-handling path.
+      wire_(config.obs != nullptr ? config.obs : &obs::WireInstruments::global()),
+      tracer_(config.tracer) {
   // Register all types; on any conflict, roll back only the ones *we*
   // registered (never another component's handler) before throwing — the
   // destructor won't run for a half-constructed agent, and leaving
@@ -120,6 +124,11 @@ void FloorAgent::begin_op(AgentState next, MsgKind kind,
   outbound_ints_ = std::move(ints);
   tries_ = 1;
   ++sends_;
+  wire_->agent_sends.add();
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::Ev::kSend, member_.value(), host_.value(),
+                  static_cast<std::uint8_t>(kind));
+  }
   demux_.send(server_, outbound_type_, outbound_ints_);
   if (retry_event_ != 0) demux_.sim().cancel(retry_event_);
   retry_event_ = demux_.sim().schedule_in(config_.retry, [this] { retry_tick(); });
@@ -152,15 +161,36 @@ void FloorAgent::retry_tick() {
   ++tries_;
   ++retransmits_;
   ++sends_;
+  wire_->agent_sends.add();
+  wire_->agent_retransmits.add();
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::Ev::kRetransmit, member_.value(), host_.value());
+  }
   demux_.send(server_, outbound_type_, outbound_ints_);
   retry_event_ = demux_.sim().schedule_in(config_.retry, [this] { retry_tick(); });
+}
+
+void FloorAgent::drop_duplicate() {
+  ++duplicates_suppressed_;
+  wire_->agent_dup_drops.add();
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::Ev::kDupDrop, member_.value(), host_.value());
+  }
+}
+
+void FloorAgent::send_ack(MsgKind kind, net::Payload ints) {
+  ++acks_sent_;
+  ++sends_;
+  wire_->agent_acks.add();
+  wire_->agent_sends.add();
+  demux_.send(server_, wire_type(kind), std::move(ints));
 }
 
 void FloorAgent::handle_join_ack(const net::Message& msg) {
   const auto ack = decode_join_ack(msg);
   if (!ack || ack->member != member_ || ack->group != group_) return;
   if (state_ != AgentState::kJoining) {
-    ++duplicates_suppressed_;
+    drop_duplicate();
     return;
   }
   finish_op(ack->accepted ? AgentState::kJoined : AgentState::kIdle);
@@ -171,7 +201,7 @@ void FloorAgent::handle_leave_ack(const net::Message& msg) {
   const auto ack = decode_leave_ack(msg);
   if (!ack || ack->member != member_ || ack->group != group_) return;
   if (state_ != AgentState::kLeaving) {
-    ++duplicates_suppressed_;
+    drop_duplicate();
     return;
   }
   // A refused leave (the chair anchors its group) parks back in kJoined.
@@ -186,7 +216,7 @@ void FloorAgent::handle_grant(const net::Message& msg) {
       (state_ != AgentState::kPending && state_ != AgentState::kQueued)) {
     // A stale request's answer, or a duplicate triggered by our own
     // retransmissions after the first reply landed.
-    ++duplicates_suppressed_;
+    drop_duplicate();
     return;
   }
   finish_op(AgentState::kGranted);
@@ -198,7 +228,7 @@ void FloorAgent::handle_deny(const net::Message& msg) {
   if (!deny) return;
   if (deny->request_id != current_request_id_ ||
       (state_ != AgentState::kPending && state_ != AgentState::kQueued)) {
-    ++duplicates_suppressed_;
+    drop_duplicate();
     return;
   }
   finish_op(AgentState::kJoined);
@@ -217,7 +247,7 @@ void FloorAgent::handle_queued(const net::Message& msg) {
       // max_tries; only an unanswered poll run should fail the agent.
       tries_ = 1;
     }
-    ++duplicates_suppressed_;
+    drop_duplicate();
     return;
   }
   // The request is parked, not lost: refresh the retry budget and keep the
@@ -233,7 +263,7 @@ void FloorAgent::handle_release_ack(const net::Message& msg) {
   if (!ack) return;
   if (ack->request_id != current_request_id_ ||
       state_ != AgentState::kReleasing) {
-    ++duplicates_suppressed_;
+    drop_duplicate();
     return;
   }
   finish_op(AgentState::kJoined);
@@ -245,13 +275,10 @@ void FloorAgent::handle_suspend(const net::Message& msg) {
   if (!suspend) return;
   // Always ack — the server retransmits until we do, and acking a stale
   // notification is harmless (ids never recycle).
-  ++acks_sent_;
-  ++sends_;
-  demux_.send(server_, wire_type(MsgKind::kSuspendAck),
-              encode(SuspendAckMsg{suspend->notify_id}));
+  send_ack(MsgKind::kSuspendAck, encode(SuspendAckMsg{suspend->notify_id}));
   if (suspend->request_id != current_request_id_) return;  // stale grant
   if (suspend->notify_id <= last_notify_id_) {
-    ++duplicates_suppressed_;  // retransmission or reordered older notify
+    drop_duplicate();  // retransmission or reordered older notify
     return;
   }
   last_notify_id_ = suspend->notify_id;
@@ -267,20 +294,17 @@ void FloorAgent::handle_suspend(const net::Message& msg) {
     if (events_.on_granted) events_.on_granted(suspend->request_id, true);
     if (events_.on_suspended) events_.on_suspended(suspend->request_id);
   } else {
-    ++duplicates_suppressed_;
+    drop_duplicate();
   }
 }
 
 void FloorAgent::handle_resume(const net::Message& msg) {
   const auto resume = decode_resume(msg);
   if (!resume) return;
-  ++acks_sent_;
-  ++sends_;
-  demux_.send(server_, wire_type(MsgKind::kResumeAck),
-              encode(ResumeAckMsg{resume->notify_id}));
+  send_ack(MsgKind::kResumeAck, encode(ResumeAckMsg{resume->notify_id}));
   if (resume->request_id != current_request_id_) return;
   if (resume->notify_id <= last_notify_id_) {
-    ++duplicates_suppressed_;
+    drop_duplicate();
     return;
   }
   last_notify_id_ = resume->notify_id;
@@ -288,7 +312,7 @@ void FloorAgent::handle_resume(const net::Message& msg) {
     state_ = AgentState::kGranted;
     if (events_.on_resumed) events_.on_resumed(resume->request_id);
   } else {
-    ++duplicates_suppressed_;
+    drop_duplicate();
   }
 }
 

@@ -15,7 +15,14 @@ std::uint64_t request_seq(std::uint64_t request_id) {
 
 FloorServer::FloorServer(net::Demux& demux, floorctl::GroupRegistry& registry,
                          floorctl::FloorService& service, ServerConfig config)
-    : demux_(demux), registry_(registry), service_(service), config_(config) {
+    : demux_(demux),
+      registry_(registry),
+      service_(service),
+      config_(config),
+      // Resolved once (setup phase) so the global pack's lazy registration
+      // never fires on a message-handling path.
+      wire_(config.obs != nullptr ? config.obs : &obs::WireInstruments::global()),
+      tracer_(config.tracer) {
   // Same rollback discipline as FloorAgent: on a conflict, deregister only
   // what this constructor managed to register, then throw.
   std::vector<MsgKind> registered;
@@ -56,6 +63,20 @@ void FloorServer::bind_station(floorctl::MemberId member, net::NodeId node) {
   stations_[member.value()] = node;
 }
 
+void FloorServer::transmit(net::NodeId node, net::MsgType type,
+                           const net::Payload& ints) {
+  ++sends_;
+  wire_->server_sends.add();
+  demux_.send(node, type, ints);
+}
+
+void FloorServer::replay_hit(floorctl::MemberId member, floorctl::HostId host) {
+  wire_->server_replay_hits.add();
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::Ev::kReplayHit, member.value(), host.value());
+  }
+}
+
 void FloorServer::handle_join(const net::Message& msg) {
   const auto join = decode_join(msg);
   if (!join || !registry_.has_member(join->member) ||
@@ -67,9 +88,8 @@ void FloorServer::handle_join(const net::Message& msg) {
   // after a lost ack converges instead of flapping.
   const bool accepted = registry_.in_group(join->member, join->group) ||
                         registry_.join(join->member, join->group);
-  ++sends_;
-  demux_.send(msg.from, wire_type(MsgKind::kJoinAck),
-              encode(JoinAckMsg{join->member, join->group, accepted}));
+  transmit(msg.from, wire_type(MsgKind::kJoinAck),
+           encode(JoinAckMsg{join->member, join->group, accepted}));
 }
 
 void FloorServer::handle_leave(const net::Message& msg) {
@@ -87,9 +107,8 @@ void FloorServer::handle_leave(const net::Message& msg) {
     release_holder(leave->member, leave->group);
     accepted = registry_.leave(leave->member, leave->group);
   }
-  ++sends_;
-  demux_.send(msg.from, wire_type(MsgKind::kLeaveAck),
-              encode(LeaveAckMsg{leave->member, leave->group, accepted}));
+  transmit(msg.from, wire_type(MsgKind::kLeaveAck),
+           encode(LeaveAckMsg{leave->member, leave->group, accepted}));
 }
 
 void FloorServer::age_out_records(floorctl::MemberId member, std::uint64_t seq) {
@@ -113,8 +132,8 @@ void FloorServer::handle_request(const net::Message& msg) {
   const auto it = decided_.find(request->request_id);
   if (it != decided_.end()) {
     ++duplicate_requests_;
-    ++sends_;
-    demux_.send(msg.from, wire_type(it->second.reply_kind), it->second.reply_ints);
+    replay_hit(request->member, request->host);
+    transmit(msg.from, wire_type(it->second.reply_kind), it->second.reply_ints);
     return;
   }
   // A resurrected id below the member's eviction floor was decided and aged
@@ -124,9 +143,9 @@ void FloorServer::handle_request(const net::Message& msg) {
   if (aged != member_records_.end() &&
       request_seq(request->request_id) < aged->second.evicted_below) {
     ++duplicate_requests_;
-    ++sends_;
-    demux_.send(msg.from, wire_type(MsgKind::kDeny),
-                encode(DenyMsg{request->request_id, floorctl::Outcome::kDenied}));
+    replay_hit(request->member, request->host);
+    transmit(msg.from, wire_type(MsgKind::kDeny),
+             encode(DenyMsg{request->request_id, floorctl::Outcome::kDenied}));
     return;
   }
   age_out_records(request->member, request_seq(request->request_id));
@@ -139,9 +158,11 @@ void FloorServer::handle_request(const net::Message& msg) {
   fr.qos = request->qos;
   const floorctl::Decision decision = service_.request(fr);
   ++arbitrated_;
+  wire_->server_arbitrations.add();
 
   const auto key = floorctl::holder_key(request->member, request->group);
   DecisionRecord record;
+  obs::Ev reply_ev;
   if (decision.outcome == floorctl::Outcome::kGranted ||
       decision.outcome == floorctl::Outcome::kGrantedDegraded) {
     record.reply_kind = MsgKind::kGrant;
@@ -151,6 +172,8 @@ void FloorServer::handle_request(const net::Message& msg) {
         decision.availability_after});
     holder_request_[key] = request->request_id;
     ++grants_sent_;
+    wire_->server_grants.add();
+    reply_ev = obs::Ev::kGrant;
   } else if (decision.outcome == floorctl::Outcome::kQueued) {
     record.reply_kind = MsgKind::kQueued;
     record.reply_ints = encode(QueuedMsg{request->request_id});
@@ -158,13 +181,20 @@ void FloorServer::handle_request(const net::Message& msg) {
     // must be written for it.
     queued_request_[key] = request->request_id;
     ++queued_sent_;
+    wire_->server_queued.add();
+    reply_ev = obs::Ev::kQueue;
   } else {
     record.reply_kind = MsgKind::kDeny;
     record.reply_ints = encode(DenyMsg{request->request_id, decision.outcome});
     ++denies_sent_;
+    wire_->server_denies.add();
+    reply_ev = obs::Ev::kDeny;
   }
-  ++sends_;
-  demux_.send(msg.from, wire_type(record.reply_kind), record.reply_ints);
+  if (tracer_ != nullptr) {
+    tracer_->emit(reply_ev, request->member.value(), request->host.value(),
+                  static_cast<std::uint8_t>(decision.outcome));
+  }
+  transmit(msg.from, wire_type(record.reply_kind), record.reply_ints);
   decided_.emplace(request->request_id, std::move(record));
   member_records_[request->member.value()].live.push_back(request->request_id);
 
@@ -191,20 +221,21 @@ void FloorServer::handle_release(const net::Message& msg) {
   if (it == decided_.end() || it->second.reply_kind == MsgKind::kDeny) {
     // Releasing something never granted: ack anyway so the client converges
     // (deny the *request*, not the release retry).
-    ++sends_;
-    demux_.send(msg.from, wire_type(MsgKind::kReleaseAck),
-                encode(ReleaseAckMsg{release->request_id}));
+    transmit(msg.from, wire_type(MsgKind::kReleaseAck),
+             encode(ReleaseAckMsg{release->request_id}));
     return;
   }
   if (it->second.released) {
-    ++duplicate_releases_;  // retransmitted release after a lost ack
+    // Retransmitted release after a lost ack. Re-acked below, but not a
+    // replay_hit(): wire.server.replay_hits mirrors duplicate_requests()
+    // exactly (the double-entry pair counters_consistent() checks).
+    ++duplicate_releases_;
   } else {
     it->second.released = true;
     release_holder(release->member, release->group);
   }
-  ++sends_;
-  demux_.send(msg.from, wire_type(MsgKind::kReleaseAck),
-              encode(ReleaseAckMsg{release->request_id}));
+  transmit(msg.from, wire_type(MsgKind::kReleaseAck),
+           encode(ReleaseAckMsg{release->request_id}));
 }
 
 void FloorServer::release_holder(floorctl::MemberId member,
@@ -244,10 +275,15 @@ void FloorServer::release_holder(floorctl::MemberId member,
     }
     ++promotions_sent_;
     ++grants_sent_;
+    wire_->server_promotions.add();
+    wire_->server_grants.add();
+    if (tracer_ != nullptr) {
+      // arg=1 marks a promotion push (vs a request's direct Grant reply).
+      tracer_->emit(obs::Ev::kGrant, promotion.holder.member.value(), 0, 1);
+    }
     const auto station = stations_.find(promotion.holder.member.value());
     if (station != stations_.end()) {
-      ++sends_;
-      demux_.send(station->second, wire_type(MsgKind::kGrant), reply);
+      transmit(station->second, wire_type(MsgKind::kGrant), reply);
     }
     send_suspends(promotion.decision.suspended);
   }
@@ -268,10 +304,14 @@ void FloorServer::release_holder(floorctl::MemberId member,
       record->second.reply_ints = reply;
     }
     ++denies_sent_;
+    wire_->server_denies.add();
+    if (tracer_ != nullptr) {
+      // arg=1 marks a dequeue push (the member left; its polls converge).
+      tracer_->emit(obs::Ev::kDeny, holder.member.value(), 0, 1);
+    }
     const auto station = stations_.find(holder.member.value());
     if (station != stations_.end()) {
-      ++sends_;
-      demux_.send(station->second, wire_type(MsgKind::kDeny), reply);
+      transmit(station->second, wire_type(MsgKind::kDeny), reply);
     }
   }
 }
@@ -289,11 +329,12 @@ void FloorServer::notify(floorctl::MemberId member, MsgKind kind,
                      : encode(ResumeMsg{notify_id, request_id});
   if (kind == MsgKind::kSuspend) {
     ++suspends_sent_;
+    wire_->server_suspends.add();
   } else {
     ++resumes_sent_;
+    wire_->server_resumes.add();
   }
-  ++sends_;
-  demux_.send(pending.node, wire_type(kind), pending.ints);
+  transmit(pending.node, wire_type(kind), pending.ints);
   pending.retry_event = demux_.sim().schedule_in(
       config_.notify_retry, [this, notify_id] { notify_tick(notify_id); });
   pending_notifies_.emplace(notify_id, std::move(pending));
@@ -311,8 +352,12 @@ void FloorServer::notify_tick(std::uint64_t notify_id) {
   }
   ++pending.tries;
   ++notify_retransmits_;
-  ++sends_;
-  demux_.send(pending.node, wire_type(pending.kind), pending.ints);
+  wire_->server_notify_retransmits.add();
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::Ev::kRetransmit, 0, 0, 1,
+                  static_cast<std::int64_t>(notify_id));
+  }
+  transmit(pending.node, wire_type(pending.kind), pending.ints);
   pending.retry_event = demux_.sim().schedule_in(
       config_.notify_retry, [this, notify_id] { notify_tick(notify_id); });
 }

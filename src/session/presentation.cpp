@@ -29,6 +29,7 @@ struct Presentation::Station {
       resumes = 0, releases = 0, skips = 0, skips_refused = 0;
   bool playback_started = false;
   bool playback_finished = false;
+  TimePoint requested_at;  // when the live request hit the wire
   TimePoint playback_started_at;
   TimePoint playback_finished_at;
 };
@@ -37,14 +38,49 @@ Presentation::Presentation(SessionConfig config)
     : config_(std::move(config)),
       network_(sim_, config_.seed,
                net::LinkQuality{config_.up_latency, config_.jitter, config_.loss}),
+      floor_obs_(metrics_),
+      wire_obs_(metrics_),
+      // A deep ring so a whole federation scenario exports (overflow only
+      // truncates the Chrome trace; the fingerprint folds at emit time).
+      tracer_(65536),
       server_node_(network_.add_node("server")),
       server_demux_(std::make_unique<net::Demux>(network_, server_node_)),
       server_clock_(sim_) {
   config_.hosts = std::max(1, config_.hosts);
+  // Trace timestamps are SIM time: deterministic, and the exported Chrome
+  // trace lines events up on the scenario's own clock.
+  tracer_.set_time_source([this] { return sim_.now().raw_nanos() / 1000; });
+  // The session owns its observability: agents and servers get the
+  // registry-backed packs and the session tracer unless the caller wired
+  // its own into the configs.
+  if (config_.agent.obs == nullptr) config_.agent.obs = &wire_obs_;
+  if (config_.agent.tracer == nullptr) config_.agent.tracer = &tracer_;
+  if (config_.server.obs == nullptr) config_.server.obs = &wire_obs_;
+  if (config_.server.tracer == nullptr) config_.server.tracer = &tracer_;
   clock_server_ =
       std::make_unique<clk::GlobalClockServer>(*server_demux_, server_clock_);
   arbitration_ = std::make_unique<floorctl::ShardedFloorService>(
       registry_, server_clock_, config_.thresholds);
+  arbitration_->set_observability(&floor_obs_, &tracer_);
+  // Occupancy levels are pulled at snapshot time, not pushed per op.
+  metrics_.gauge_callback("floor.active_grants", [this] {
+    return static_cast<std::int64_t>(arbitration_->active_grants());
+  });
+  metrics_.gauge_callback("floor.suspended_grants", [this] {
+    return static_cast<std::int64_t>(arbitration_->suspended_grants());
+  });
+  metrics_.gauge_callback("floor.queued_requests", [this] {
+    return static_cast<std::int64_t>(arbitration_->queued_requests());
+  });
+  metrics_.gauge_callback("net.sent", [this] {
+    return static_cast<std::int64_t>(network_.sent());
+  });
+  metrics_.gauge_callback("net.dropped", [this] {
+    return static_cast<std::int64_t>(network_.dropped());
+  });
+  metrics_.gauge_callback("net.delivered", [this] {
+    return static_cast<std::int64_t>(network_.delivered());
+  });
 
   // One host shard per endpoint; endpoint 0 shares the clock server's
   // station so a single-host session keeps the classic one-server topology.
@@ -151,6 +187,10 @@ Presentation::Presentation(SessionConfig config)
     events.on_joined = [this, &s] { script_request(s); };
     events.on_granted = [this, &s](std::uint64_t, bool) {
       ++s.grants;
+      // Station-observed grant latency: request on the wire -> Grant
+      // applied (includes queue wait for parked requests).
+      wire_obs_.grant_latency_us.record(
+          (sim_.now() - s.requested_at).raw_nanos() / 1000);
       s.playback_started = true;
       s.playback_started_at = sim_.now();
       s.engine->start(s.admission->global_now());
@@ -211,11 +251,17 @@ void Presentation::script_request(Station& s) {
                       : Duration::zero();
   sim_.schedule_in(delay, [this, &s] {
     if (s.agent->state() != fproto::AgentState::kJoined) return;
-    if (s.agent->request_floor(config_.qos) != 0) ++s.requests;
+    if (s.agent->request_floor(config_.qos) != 0) {
+      ++s.requests;
+      s.requested_at = sim_.now();
+    }
   });
 }
 
 SessionStats Presentation::run(util::Duration horizon) {
+  // Construction registered every instrument; from here on a new
+  // registration is a bug (a lazy hot-path allocation), so it throws.
+  metrics_.freeze();
   sim_.run_until(sim_.now() + horizon);
   return stats();
 }
@@ -242,21 +288,73 @@ SessionStats Presentation::stats() const {
         s.agent->state() == fproto::AgentState::kQueued;
     out.queued_waiting += queued_waiting ? 1 : 0;
     out.stuck_agents += (s.agent->terminated() || queued_waiting) ? 0 : 1;
-    out.client_retransmits += s.agent->retransmits();
-    out.duplicates_suppressed += s.agent->duplicates_suppressed();
-    out.floor_messages += s.agent->messages_sent();
   }
   for (const Endpoint& endpoint : endpoints_) {
-    out.floor_messages += endpoint.server->messages_sent();
-    out.server_arbitrations += endpoint.server->requests_arbitrated();
-    out.server_duplicate_requests += endpoint.server->duplicate_requests();
-    out.notify_retransmits += endpoint.server->notify_retransmits();
     out.notifies_pending += endpoint.server->notifies_pending();
+  }
+  if (config_.agent.obs == &wire_obs_ && config_.server.obs == &wire_obs_) {
+    // Single-entry bookkeeping: the wire counters come straight from the
+    // registry instead of re-summing per-agent/per-endpoint members
+    // (counters_consistent() proves the two agree).
+    const auto value = [this](const char* name) {
+      return static_cast<std::uint64_t>(metrics_.value(name));
+    };
+    out.client_retransmits = value("wire.agent.retransmits");
+    out.duplicates_suppressed = value("wire.agent.dup_drops");
+    out.server_arbitrations = value("wire.server.arbitrations");
+    out.server_duplicate_requests = value("wire.server.replay_hits");
+    out.notify_retransmits = value("wire.server.notify_retransmits");
+    out.floor_messages = value("wire.agent.sends") + value("wire.server.sends");
+  } else {
+    // The caller supplied its own packs; fall back to per-object members.
+    for (const auto& station : stations_) {
+      out.client_retransmits += station->agent->retransmits();
+      out.duplicates_suppressed += station->agent->duplicates_suppressed();
+      out.floor_messages += station->agent->messages_sent();
+    }
+    for (const Endpoint& endpoint : endpoints_) {
+      out.floor_messages += endpoint.server->messages_sent();
+      out.server_arbitrations += endpoint.server->requests_arbitrated();
+      out.server_duplicate_requests += endpoint.server->duplicate_requests();
+      out.notify_retransmits += endpoint.server->notify_retransmits();
+    }
   }
   out.messages_sent = network_.sent();
   out.messages_dropped = network_.dropped();
   out.messages_delivered = network_.delivered();
   return out;
+}
+
+bool Presentation::counters_consistent() const {
+  if (config_.agent.obs != &wire_obs_ || config_.server.obs != &wire_obs_) {
+    return true;  // foreign packs: there is no double entry to cross-check
+  }
+  std::uint64_t retransmits = 0, dup_drops = 0, acks = 0, agent_sends = 0;
+  for (const auto& station : stations_) {
+    retransmits += station->agent->retransmits();
+    dup_drops += station->agent->duplicates_suppressed();
+    acks += station->agent->acks_sent();
+    agent_sends += station->agent->messages_sent();
+  }
+  std::uint64_t arbitrated = 0, dup_requests = 0, notify_rtx = 0,
+                server_sends = 0;
+  for (const Endpoint& endpoint : endpoints_) {
+    arbitrated += endpoint.server->requests_arbitrated();
+    dup_requests += endpoint.server->duplicate_requests();
+    notify_rtx += endpoint.server->notify_retransmits();
+    server_sends += endpoint.server->messages_sent();
+  }
+  const auto value = [this](const char* name) {
+    return static_cast<std::uint64_t>(metrics_.value(name));
+  };
+  return value("wire.agent.retransmits") == retransmits &&
+         value("wire.agent.dup_drops") == dup_drops &&
+         value("wire.agent.acks") == acks &&
+         value("wire.agent.sends") == agent_sends &&
+         value("wire.server.arbitrations") == arbitrated &&
+         value("wire.server.replay_hits") == dup_requests &&
+         value("wire.server.notify_retransmits") == notify_rtx &&
+         value("wire.server.sends") == server_sends;
 }
 
 StationSnapshot Presentation::station(int index) const {

@@ -325,6 +325,43 @@ TEST(Session, FederatedSameSeedSameStory) {
   EXPECT_EQ(sa.messages_dropped, sb.messages_dropped);
 }
 
+TEST(Session, RegistryCountersMatchSessionStatsExactly) {
+  // Double-entry bookkeeping: SessionStats sources its wire counters from
+  // the MetricsRegistry, and counters_consistent() cross-checks the
+  // registry instruments against the per-object counters they mirror.
+  // A lossy run makes the check non-trivial — retransmit, duplicate-drop
+  // and replay-hit paths all fire.
+  session::SessionConfig config;
+  config.seed = 21;
+  config.stations = 6;
+  config.loss = 0.08;
+  config.qos = media::QosRequirement{0.22, 0.22, 0.22};
+  config.media_len = Duration::seconds(4);
+  session::Presentation presentation(config);
+  const auto stats = presentation.run(Duration::seconds(150));
+  EXPECT_TRUE(presentation.counters_consistent());
+  const auto& metrics = presentation.metrics();
+  EXPECT_EQ(metrics.value("wire.agent.retransmits"),
+            static_cast<std::int64_t>(stats.client_retransmits));
+  EXPECT_EQ(metrics.value("wire.agent.dup_drops"),
+            static_cast<std::int64_t>(stats.duplicates_suppressed));
+  EXPECT_EQ(metrics.value("wire.server.arbitrations"),
+            static_cast<std::int64_t>(stats.server_arbitrations));
+  EXPECT_EQ(metrics.value("wire.server.replay_hits"),
+            static_cast<std::int64_t>(stats.server_duplicate_requests));
+  EXPECT_EQ(metrics.value("wire.server.notify_retransmits"),
+            static_cast<std::int64_t>(stats.notify_retransmits));
+  // Cross-layer pair: every non-duplicate request the server arbitrates is
+  // exactly one FloorService::request call, so the wire-layer and
+  // floor-layer counters must agree across the stack.
+  EXPECT_EQ(metrics.value("floor.requests"),
+            metrics.value("wire.server.arbitrations"));
+  // 8% loss over a six-station contention run must actually exercise the
+  // retransmission machinery, or the equalities above prove nothing.
+  EXPECT_GT(stats.client_retransmits, 0u);
+  EXPECT_GT(stats.server_duplicate_requests, 0u);
+}
+
 TEST(Session, SameSeedSameStory) {
   session::SessionConfig config;
   config.seed = 5;
