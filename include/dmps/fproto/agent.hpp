@@ -2,12 +2,16 @@
 // Client-side floor agent: one member station's request state machine.
 //
 // The agent owns the client half of the fproto reliability model. Client-
-// driven operations (Join, Request, Release, Leave) retransmit on a fixed
-// timer until the server's reply arrives — the reply *is* the ack (Grant or
-// Deny answers Request). Server-driven Media-Suspend/Resume notifications
-// are always acked, applied only when they match the current grant, and
-// counted as suppressed duplicates otherwise, so the machine survives loss,
-// reordering and duplication on both directions of an asymmetric link.
+// driven operations (Join, Request, Release, Leave) retransmit until the
+// server's reply arrives — the reply *is* the ack (Grant or Deny answers
+// Request). The retransmit schedule backs off exponentially: the n-th
+// resend waits min(retry * retry_factor^(n-1), retry_cap), so a lossy link
+// converges with far fewer datagrams than a fixed-interval schedule while
+// the first retry still lands fast. Server-driven Media-Suspend/Resume
+// notifications are always acked, applied only when they match the current
+// grant, and counted as suppressed duplicates otherwise, so the machine
+// survives loss, reordering and duplication on both directions of an
+// asymmetric link.
 //
 //   idle --join--> joining --JoinAck--> joined
 //   joined --request_floor--> pending --Grant--> granted --Deny--> joined
@@ -19,10 +23,15 @@
 // kQueued (a queueing group parked the request) keeps the request's
 // retransmission timer running as a poll: the server replays the stored
 // reply — kQueued while parked, the Grant once promoted — so the promotion
-// reaches the client even when the pushed Grant is lost.
+// reaches the client even when the pushed Grant is lost. Each replay
+// refreshes the retry budget, which also resets the backoff to its base:
+// a parked agent polls at the base cadence, not at the cap.
 //
-// One agent per station node (it owns the fp.* client-side message types on
-// its Demux), one outstanding operation at a time.
+// The agent talks to the wire through the transport seam only
+// (transport::Endpoint — SimTransport in scenarios, UdpEndpoint on a real
+// network): it owns the fp.* client-side message types on its endpoint,
+// one outstanding operation at a time, all calls on the endpoint's loop
+// thread.
 
 #include <cstdint>
 #include <functional>
@@ -31,7 +40,7 @@
 #include "net/sim_network.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
-#include "sim/simulator.hpp"
+#include "transport/endpoint.hpp"
 
 namespace dmps::fproto {
 
@@ -51,8 +60,13 @@ enum class AgentState {
 std::string_view to_string(AgentState state);
 
 struct AgentConfig {
-  util::Duration retry = util::Duration::millis(250);  // retransmit period
+  util::Duration retry = util::Duration::millis(250);  // first resend delay
   int max_tries = 200;  // per operation, then kFailed
+  /// Exponential backoff: the n-th resend waits
+  /// min(retry * retry_factor^(n-1), retry_cap). 1.0 = the old fixed
+  /// interval; the cap keeps a long outage polling instead of going silent.
+  double retry_factor = 2.0;
+  util::Duration retry_cap = util::Duration::millis(2000);
   /// Wire instrument pack; nullptr = the process-global pack. A session
   /// passes its own so per-session counters stay isolated.
   obs::WireInstruments* obs = nullptr;
@@ -75,9 +89,9 @@ struct AgentEvents {
 
 class FloorAgent {
  public:
-  FloorAgent(net::Demux& demux, net::NodeId server, floorctl::MemberId member,
-             floorctl::GroupId group, floorctl::HostId host, AgentConfig config,
-             AgentEvents events);
+  FloorAgent(transport::Endpoint& endpoint, net::NodeId server,
+             floorctl::MemberId member, floorctl::GroupId group,
+             floorctl::HostId host, AgentConfig config, AgentEvents events);
   ~FloorAgent();
   FloorAgent(const FloorAgent&) = delete;
   FloorAgent& operator=(const FloorAgent&) = delete;
@@ -120,6 +134,9 @@ class FloorAgent {
   void begin_op(AgentState next, MsgKind kind, net::Payload ints);
   void finish_op(AgentState next);
   void retry_tick();
+  /// The backed-off delay before the next resend, given the transmissions
+  /// already made (tries_).
+  util::Duration retry_delay() const;
   /// One duplicate suppressed: member counter, instrument pack, trace.
   void drop_duplicate();
   /// One server-driven notification acked (an ack is also a send).
@@ -133,7 +150,7 @@ class FloorAgent {
   void handle_suspend(const net::Message& msg);
   void handle_resume(const net::Message& msg);
 
-  net::Demux& demux_;
+  transport::Endpoint& ep_;
   net::NodeId server_;
   floorctl::MemberId member_;
   floorctl::GroupId group_;
@@ -154,7 +171,7 @@ class FloorAgent {
   net::MsgType outbound_type_;
   net::Payload outbound_ints_;
   int tries_ = 0;
-  sim::EventId retry_event_ = 0;
+  transport::TimerId retry_timer_ = 0;
 
   std::uint64_t sends_ = 0;
   std::uint64_t retransmits_ = 0;

@@ -11,8 +11,11 @@
 // the payload is a fixed layout of int64s per kind (doubles travel
 // bit-cast).
 //
-// decode_*() returns nullopt on a malformed payload (wrong type or short
-// ints) — a lossy, reordering network must never crash an endpoint.
+// decode_*() returns nullopt on a malformed payload — wrong wire type,
+// wrong lane count (every kind has an exact layout, so a short OR long
+// payload is garbage), or a non-finite bit-cast double where a QoS share
+// or availability belongs. A lossy, reordering — or, over real UDP,
+// hostile — network must never crash an endpoint.
 
 #include <cstdint>
 #include <optional>
@@ -22,6 +25,7 @@
 #include "floor/types.hpp"
 #include "media/media.hpp"
 #include "net/sim_network.hpp"
+#include "transport/frame.hpp"
 
 namespace dmps::fproto {
 
@@ -41,6 +45,23 @@ enum class MsgKind {
   kResume,      // s->c: MediaResume notification (server-reliable)
   kResumeAck,   // c->s
 };
+
+/// MsgKind is dense, starting at 0; its enum value is the *stable* wire id
+/// (transport frames carry it — interned net::MsgType ids are assigned in
+/// first-use order and differ across processes).
+inline constexpr std::size_t kMsgKindCount = 14;
+
+/// The kind for a stable wire id, nullopt when out of range (an untrusted
+/// datagram's kind byte).
+std::optional<MsgKind> kind_from_wire(std::uint8_t wire_id);
+
+/// Reverse of wire_type(): the kind behind an interned type, nullopt for
+/// non-fproto types.
+std::optional<MsgKind> kind_of(net::MsgType type);
+
+/// The fproto framing schema for UDP endpoints: index i is MsgKind i's
+/// interned type, so the frame's kind byte is exactly the MsgKind value.
+transport::WireSchema wire_schema();
 
 std::string_view to_string(MsgKind kind);
 

@@ -1,7 +1,8 @@
 #pragma once
 // Moderating floor server: the fproto endpoint that owns arbitration.
 //
-// Registers the client->server message types on its station's Demux, runs
+// Registers the client->server message types on its transport endpoint
+// (SimTransport in scenarios, UdpEndpoint behind dmps_floord), runs
 // every FloorRequest through the FloorService facade, and answers with
 // Grant / Deny / Queued. The server is the retransmission-tolerant half of
 // the protocol: request and release handling is *idempotent* — a request id
@@ -44,7 +45,7 @@
 #include "net/sim_network.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
-#include "sim/simulator.hpp"
+#include "transport/endpoint.hpp"
 
 namespace dmps::fproto {
 
@@ -60,7 +61,7 @@ struct ServerConfig {
 
 class FloorServer {
  public:
-  FloorServer(net::Demux& demux, floorctl::GroupRegistry& registry,
+  FloorServer(transport::Endpoint& endpoint, floorctl::GroupRegistry& registry,
               floorctl::FloorService& service, ServerConfig config);
   ~FloorServer();
   FloorServer(const FloorServer&) = delete;
@@ -121,7 +122,7 @@ class FloorServer {
   void notify(floorctl::MemberId member, MsgKind kind, std::uint64_t request_id);
   void notify_tick(std::uint64_t notify_id);
 
-  net::Demux& demux_;
+  transport::Endpoint& ep_;
   floorctl::GroupRegistry& registry_;
   floorctl::FloorService& service_;
   ServerConfig config_;
@@ -139,7 +140,7 @@ class FloorServer {
     MsgKind kind = MsgKind::kSuspend;
     net::Payload ints;
     int tries = 1;
-    sim::EventId retry_event = 0;
+    transport::TimerId retry_timer = 0;
   };
   std::unordered_map<std::uint64_t, Notify> pending_notifies_;  // by notify id
   std::uint64_t next_notify_id_ = 1;

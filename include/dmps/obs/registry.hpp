@@ -138,6 +138,16 @@ struct WireInstruments {
   Counter& server_notify_retransmits;  // wire.server.notify_retransmits
   Histogram& grant_latency_us;       // wire.grant_latency_us (request->grant)
 
+  // UDP backend (transport/udp.hpp): datagram-level accounting. Malformed
+  // or unroutable datagrams are counted and dropped, never crash the loop.
+  Counter& udp_tx_datagrams;         // wire.udp.tx_datagrams
+  Counter& udp_rx_datagrams;         // wire.udp.rx_datagrams
+  Counter& udp_drop_malformed;       // wire.udp.drop_malformed (short/bad magic/lanes)
+  Counter& udp_drop_version;         // wire.udp.drop_version
+  Counter& udp_drop_unknown_kind;    // wire.udp.drop_unknown_kind
+  Counter& udp_drop_unhandled;       // wire.udp.drop_unhandled (no handler for type)
+  Counter& udp_send_failures;        // wire.udp.send_failures (sendto errors)
+
   explicit WireInstruments(MetricsRegistry& registry);
   static WireInstruments& global();
 };

@@ -38,6 +38,7 @@
 #include "net/sim_network.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "transport/sim_transport.hpp"
 
 namespace dmps::session {
 
@@ -175,6 +176,7 @@ class Presentation {
     floorctl::HostId host;
     net::NodeId node;
     std::unique_ptr<net::Demux> demux;
+    std::unique_ptr<transport::SimTransport> transport;
     std::unique_ptr<fproto::FloorServer> server;
   };
 
@@ -198,6 +200,7 @@ class Presentation {
   // Server station (clock sync + endpoint 0).
   net::NodeId server_node_;
   std::unique_ptr<net::Demux> server_demux_;
+  std::unique_ptr<transport::SimTransport> server_transport_;
   clk::TrueClock server_clock_;
   std::unique_ptr<clk::GlobalClockServer> clock_server_;
   floorctl::GroupRegistry registry_;

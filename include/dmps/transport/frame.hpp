@@ -1,0 +1,70 @@
+#pragma once
+// The UDP wire frame: a fixed header wrapping the int64-lane codec.
+//
+// Layout (all multi-byte fields little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic       0x53504D44 ("DMPS" in byte order)
+//        4     1  version     kFrameVersion
+//        5     1  kind        *stable* wire id of the message type
+//        6     2  lane_count  number of int64 lanes that follow
+//        8   8*n  lanes       payload, one little-endian int64 each
+//
+// The kind byte is a schema index, NOT an interned net::MsgType id —
+// interned ids are assigned in first-use order and differ across
+// processes. A WireSchema pins the index→type table both sides agree on
+// (for fproto: MsgKind enum order, see fproto::wire_schema()).
+//
+// decode_frame() classifies every way an untrusted datagram can be wrong
+// (short, bad magic, foreign version, oversized or inconsistent lane
+// count) so the endpoint can count each drop class separately; it never
+// throws or asserts on hostile bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/sim_network.hpp"
+
+namespace dmps::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x53504D44u;  // "DMPS" LE
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// Sanity bound on lanes per datagram. The largest fproto kind uses 8;
+/// anything past this is garbage, not a bigger message.
+inline constexpr std::size_t kFrameMaxLanes = 16;
+inline constexpr std::size_t kFrameMaxBytes =
+    kFrameHeaderBytes + kFrameMaxLanes * 8;
+
+/// The stable index→interned-type table a UDP endpoint frames with. The
+/// vector index IS the kind byte on the wire; both peers must construct
+/// the same schema (same protocol, same order).
+struct WireSchema {
+  std::vector<net::MsgType> types;
+};
+
+enum class FrameError {
+  kOk,
+  kShort,         // fewer than kFrameHeaderBytes bytes
+  kBadMagic,
+  kBadVersion,
+  kBadLaneCount,  // over kFrameMaxLanes, or body size disagrees with it
+};
+
+struct Frame {
+  std::uint8_t kind = 0;  // schema index; endpoint validates range
+  net::Payload ints;
+};
+
+/// Serialize one frame into `out` (capacity `cap` bytes). Returns the
+/// encoded size, or 0 if it does not fit / has too many lanes.
+std::size_t encode_frame(std::uint8_t kind, const net::Payload& ints,
+                         std::uint8_t* out, std::size_t cap);
+
+/// Parse an untrusted datagram. On kOk, `out` holds the kind byte and the
+/// decoded lanes; on any error `out` is unspecified.
+FrameError decode_frame(const std::uint8_t* data, std::size_t len, Frame& out);
+
+}  // namespace dmps::transport

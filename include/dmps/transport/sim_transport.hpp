@@ -1,0 +1,49 @@
+#pragma once
+// SimTransport: the transport seam over a SimNetwork node.
+//
+// A thin, non-owning adapter — it forwards dispatch to the node's Demux and
+// timers to the shared discrete-event Simulator, so a protocol endpoint
+// written against transport::Endpoint behaves bit-for-bit like one written
+// against the Demux directly (the pre-seam code shape). Every simulated
+// scenario (tests, benches, session::Presentation) runs through this.
+//
+// The Simulator drives the clock: handlers fire inside SimNetwork delivery
+// events, timers are Simulator events, and now() is simulation time. One
+// SimTransport per node, same lifetime rules as the Demux it wraps.
+
+#include <utility>
+
+#include "net/sim_network.hpp"
+#include "transport/endpoint.hpp"
+
+namespace dmps::transport {
+
+class SimTransport final : public Endpoint {
+ public:
+  explicit SimTransport(net::Demux& demux) : demux_(demux) {}
+
+  [[nodiscard]] bool on(net::MsgType type, Handler handler) override {
+    return demux_.on(type, std::move(handler));
+  }
+
+  void off(net::MsgType type) override { demux_.off(type); }
+
+  void send(net::NodeId to, net::MsgType type, net::Payload ints) override {
+    demux_.send(to, type, std::move(ints));
+  }
+
+  TimerId schedule_in(util::Duration delay, std::function<void()> cb) override {
+    return demux_.sim().schedule_in(delay, std::move(cb));
+  }
+
+  bool cancel(TimerId id) override { return demux_.sim().cancel(id); }
+
+  util::TimePoint now() const override { return demux_.sim().now(); }
+
+  net::Demux& demux() { return demux_; }
+
+ private:
+  net::Demux& demux_;
+};
+
+}  // namespace dmps::transport

@@ -1,0 +1,145 @@
+#pragma once
+// UdpEndpoint/UdpLoop: the transport seam on real sockets (Linux).
+//
+// A UdpLoop owns an epoll instance, a steady-clock timeline (now() is
+// nanoseconds since the loop was built) and a hashed TimerWheel. Any
+// number of UdpEndpoints — plus arbitrary extra fds like a signalfd —
+// register on one loop; one thread drives it via poll()/run_while().
+// Loopback tests put an agent endpoint and a server endpoint on the same
+// loop in one process; dmps_floord runs one endpoint per daemon.
+//
+// A UdpEndpoint is one bound, non-blocking UDP socket speaking the
+// transport frame (transport/frame.hpp) over a WireSchema. Peers are
+// interned into dense net::NodeIds exactly like SimNetwork nodes: the
+// first datagram from an address mints its id (how the server learns
+// client addresses), and add_peer() pre-interns a known address (how a
+// client names its server). A received Message's `from` is therefore
+// always a valid reply target, which is all fproto's learn-the-station
+// logic needs.
+//
+// Untrusted bytes never crash the loop: every malformed, foreign-version,
+// unknown-kind or unhandled datagram increments its own wire.udp.* drop
+// counter (obs::WireInstruments) and is discarded.
+//
+// set_send_filter() is the deterministic loss hook for tests: a filter
+// returning false "loses" the outbound datagram after it is counted as
+// transmitted — the UDP analogue of SimNetwork's lossy links.
+
+#ifdef __linux__
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clock/drift_clock.hpp"
+#include "obs/registry.hpp"
+#include "transport/endpoint.hpp"
+#include "transport/frame.hpp"
+#include "transport/timer_wheel.hpp"
+
+namespace dmps::transport {
+
+class UdpLoop {
+ public:
+  UdpLoop();
+  ~UdpLoop();
+  UdpLoop(const UdpLoop&) = delete;
+  UdpLoop& operator=(const UdpLoop&) = delete;
+
+  /// Nanoseconds of steady time since this loop was constructed.
+  util::TimePoint now() const;
+
+  /// Watch `fd` for readability; `on_readable` fires from poll(). False if
+  /// the kernel refused (bad fd / already registered).
+  bool add_fd(int fd, std::function<void()> on_readable);
+  void remove_fd(int fd);
+
+  /// One iteration: wait for readiness (bounded by `max_wait`, and by one
+  /// timer tick whenever timers are armed), dispatch readable fds, then
+  /// fire due timers.
+  void poll(util::Duration max_wait = util::Duration::millis(10));
+
+  /// poll() until stop() or `keep_going` says done.
+  void run_while(const std::function<bool()>& keep_going);
+
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+  /// Re-arm after a stop() (loadgen reuses its loop for the drain phase).
+  void resume() { stopped_ = false; }
+
+  TimerWheel& wheel() { return wheel_; }
+
+ private:
+  int epoll_fd_ = -1;
+  std::int64_t epoch_ns_ = 0;
+  TimerWheel wheel_;
+  std::unordered_map<int, std::function<void()>> fd_handlers_;
+  bool stopped_ = false;
+};
+
+/// The loop's timeline as a clk::Clock, so arbitration (FloorService grant
+/// stamps) can run off wall time in a daemon.
+class LoopClock final : public clk::Clock {
+ public:
+  explicit LoopClock(const UdpLoop& loop) : loop_(loop) {}
+  util::TimePoint now() const override { return loop_.now(); }
+
+ private:
+  const UdpLoop& loop_;
+};
+
+class UdpEndpoint final : public Endpoint {
+ public:
+  /// Bind 0.0.0.0:`port` (0 = any free port; read it back with
+  /// local_port()). Throws std::runtime_error if the socket can't be
+  /// created or bound. `obs` nullptr = the process-global pack.
+  UdpEndpoint(UdpLoop& loop, WireSchema schema, std::uint16_t port,
+              obs::WireInstruments* obs = nullptr);
+  ~UdpEndpoint() override;
+
+  std::uint16_t local_port() const { return local_port_; }
+
+  /// Intern a known peer address (idempotent per address).
+  net::NodeId add_peer(const std::string& ipv4, std::uint16_t port);
+
+  /// Drop outbound datagrams the filter rejects — after counting them as
+  /// transmitted, so retransmit arithmetic matches a real lossy wire.
+  void set_send_filter(std::function<bool(net::NodeId, net::MsgType)> filter) {
+    send_filter_ = std::move(filter);
+  }
+
+  // Endpoint seam.
+  [[nodiscard]] bool on(net::MsgType type, Handler handler) override;
+  void off(net::MsgType type) override;
+  void send(net::NodeId to, net::MsgType type, net::Payload ints) override;
+  TimerId schedule_in(util::Duration delay, std::function<void()> cb) override;
+  bool cancel(TimerId id) override;
+  util::TimePoint now() const override { return loop_.now(); }
+
+ private:
+  void drain_socket();
+  net::NodeId intern_peer(std::uint32_t ip_be, std::uint16_t port_be);
+
+  UdpLoop& loop_;
+  WireSchema schema_;
+  std::unordered_map<net::MsgType::value_type, std::uint8_t> wire_ids_;
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+
+  struct Peer {
+    std::uint32_t ip_be = 0;    // network byte order
+    std::uint16_t port_be = 0;  // network byte order
+  };
+  std::vector<Peer> peers_;  // NodeId value = index
+  std::unordered_map<std::uint64_t, std::uint32_t> peer_ids_;  // addr key -> index
+
+  std::vector<Handler> handlers_;  // by interned MsgType value
+  std::function<bool(net::NodeId, net::MsgType)> send_filter_;
+  obs::WireInstruments* wire_;
+};
+
+}  // namespace dmps::transport
+
+#endif  // __linux__

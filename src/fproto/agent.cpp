@@ -21,11 +21,11 @@ std::string_view to_string(AgentState state) {
   return "unknown";
 }
 
-FloorAgent::FloorAgent(net::Demux& demux, net::NodeId server,
+FloorAgent::FloorAgent(transport::Endpoint& endpoint, net::NodeId server,
                        floorctl::MemberId member, floorctl::GroupId group,
                        floorctl::HostId host, AgentConfig config,
                        AgentEvents events)
-    : demux_(demux),
+    : ep_(endpoint),
       server_(server),
       member_(member),
       group_(group),
@@ -42,7 +42,7 @@ FloorAgent::FloorAgent(net::Demux& demux, net::NodeId server,
   // this-capturing handlers behind would dangle.
   std::vector<MsgKind> registered;
   const auto reg = [&](MsgKind kind, std::function<void(const net::Message&)> fn) {
-    if (!demux_.on(wire_type(kind), std::move(fn))) return false;
+    if (!ep_.on(wire_type(kind), std::move(fn))) return false;
     registered.push_back(kind);
     return true;
   };
@@ -62,18 +62,18 @@ FloorAgent::FloorAgent(net::Demux& demux, net::NodeId server,
   owned &= reg(MsgKind::kResume,
                [this](const net::Message& m) { handle_resume(m); });
   if (!owned) {
-    for (const MsgKind kind : registered) demux_.off(wire_type(kind));
+    for (const MsgKind kind : registered) ep_.off(wire_type(kind));
     throw std::logic_error("fproto client types already handled on this node");
   }
 }
 
 FloorAgent::~FloorAgent() {
-  if (retry_event_ != 0) demux_.sim().cancel(retry_event_);
+  if (retry_timer_ != 0) ep_.cancel(retry_timer_);
   for (const MsgKind kind :
        {MsgKind::kJoinAck, MsgKind::kLeaveAck, MsgKind::kGrant, MsgKind::kDeny,
         MsgKind::kQueued, MsgKind::kReleaseAck, MsgKind::kSuspend,
         MsgKind::kResume}) {
-    demux_.off(wire_type(kind));
+    ep_.off(wire_type(kind));
   }
 }
 
@@ -129,21 +129,32 @@ void FloorAgent::begin_op(AgentState next, MsgKind kind,
     tracer_->emit(obs::Ev::kSend, member_.value(), host_.value(),
                   static_cast<std::uint8_t>(kind));
   }
-  demux_.send(server_, outbound_type_, outbound_ints_);
-  if (retry_event_ != 0) demux_.sim().cancel(retry_event_);
-  retry_event_ = demux_.sim().schedule_in(config_.retry, [this] { retry_tick(); });
+  ep_.send(server_, outbound_type_, outbound_ints_);
+  if (retry_timer_ != 0) ep_.cancel(retry_timer_);
+  retry_timer_ = ep_.schedule_in(retry_delay(), [this] { retry_tick(); });
 }
 
 void FloorAgent::finish_op(AgentState next) {
   state_ = next;
-  if (retry_event_ != 0) {
-    demux_.sim().cancel(retry_event_);
-    retry_event_ = 0;
+  if (retry_timer_ != 0) {
+    ep_.cancel(retry_timer_);
+    retry_timer_ = 0;
   }
 }
 
+util::Duration FloorAgent::retry_delay() const {
+  // min(retry * factor^(tries_-1), cap), grown by a loop with an early
+  // cap-break so a huge tries_ never overflows the multiply.
+  double delay = static_cast<double>(config_.retry.raw_nanos());
+  const double cap = static_cast<double>(config_.retry_cap.raw_nanos());
+  const double factor = config_.retry_factor > 1.0 ? config_.retry_factor : 1.0;
+  for (int i = 1; i < tries_ && delay < cap; ++i) delay *= factor;
+  if (delay > cap && cap > 0.0) delay = cap;
+  return util::Duration::nanos(static_cast<std::int64_t>(delay));
+}
+
 void FloorAgent::retry_tick() {
-  retry_event_ = 0;
+  retry_timer_ = 0;
   // Only in-flight operations retransmit; a reply that landed between the
   // schedule and this tick already cancelled the timer. kQueued keeps the
   // request retransmitting as a poll of the server's stored decision.
@@ -166,8 +177,8 @@ void FloorAgent::retry_tick() {
   if (tracer_ != nullptr) {
     tracer_->emit(obs::Ev::kRetransmit, member_.value(), host_.value());
   }
-  demux_.send(server_, outbound_type_, outbound_ints_);
-  retry_event_ = demux_.sim().schedule_in(config_.retry, [this] { retry_tick(); });
+  ep_.send(server_, outbound_type_, outbound_ints_);
+  retry_timer_ = ep_.schedule_in(retry_delay(), [this] { retry_tick(); });
 }
 
 void FloorAgent::drop_duplicate() {
@@ -183,7 +194,7 @@ void FloorAgent::send_ack(MsgKind kind, net::Payload ints) {
   ++sends_;
   wire_->agent_acks.add();
   wire_->agent_sends.add();
-  demux_.send(server_, wire_type(kind), std::move(ints));
+  ep_.send(server_, wire_type(kind), std::move(ints));
 }
 
 void FloorAgent::handle_join_ack(const net::Message& msg) {

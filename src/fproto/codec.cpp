@@ -1,5 +1,6 @@
 #include "fproto/codec.hpp"
 
+#include <cmath>
 #include <cstring>
 
 namespace dmps::fproto {
@@ -34,10 +35,16 @@ Id unpack_id(std::int64_t v) {
   return Id(static_cast<typename Id::value_type>(v));
 }
 
-/// Payload guard: right wire type, at least `lanes` int64s.
+/// Payload guard: right wire type and the kind's exact lane count — every
+/// encoder emits a fixed layout, so surplus lanes are as malformed as
+/// missing ones (untrusted UDP bytes land here).
 bool well_formed(const net::Message& msg, MsgKind kind, std::size_t lanes) {
-  return msg.type == wire_type(kind) && msg.ints.size() >= lanes;
+  return msg.type == wire_type(kind) && msg.ints.size() == lanes;
 }
+
+/// A bit-cast double lane carrying a QoS share or availability must be a
+/// real number; NaN/Inf would otherwise flow into arbitration arithmetic.
+bool finite_lane(std::int64_t bits) { return std::isfinite(unpack_double(bits)); }
 
 }  // namespace
 
@@ -80,6 +87,28 @@ net::MsgType wire_type(MsgKind kind) {
       net::msg_type(to_string(MsgKind::kResumeAck)),
   };
   return types[static_cast<int>(kind)];
+}
+
+std::optional<MsgKind> kind_from_wire(std::uint8_t wire_id) {
+  if (wire_id >= kMsgKindCount) return std::nullopt;
+  return static_cast<MsgKind>(wire_id);
+}
+
+std::optional<MsgKind> kind_of(net::MsgType type) {
+  for (std::size_t i = 0; i < kMsgKindCount; ++i) {
+    const auto kind = static_cast<MsgKind>(i);
+    if (wire_type(kind) == type) return kind;
+  }
+  return std::nullopt;
+}
+
+transport::WireSchema wire_schema() {
+  transport::WireSchema schema;
+  schema.types.reserve(kMsgKindCount);
+  for (std::size_t i = 0; i < kMsgKindCount; ++i) {
+    schema.types.push_back(wire_type(static_cast<MsgKind>(i)));
+  }
+  return schema;
 }
 
 net::Payload encode(const JoinMsg& m) {
@@ -189,6 +218,10 @@ std::optional<RequestMsg> decode_request(const net::Message& msg) {
   m.host = unpack_id<floorctl::HostId>(msg.ints[3]);
   m.mode = msg.ints[4] != 0 ? floorctl::FcmMode::kChaired
                             : floorctl::FcmMode::kFreeAccess;
+  if (!finite_lane(msg.ints[5]) || !finite_lane(msg.ints[6]) ||
+      !finite_lane(msg.ints[7])) {
+    return std::nullopt;
+  }
   m.qos.bandwidth = unpack_double(msg.ints[5]);
   m.qos.cpu = unpack_double(msg.ints[6]);
   m.qos.memory = unpack_double(msg.ints[7]);
@@ -200,6 +233,7 @@ std::optional<GrantMsg> decode_grant(const net::Message& msg) {
   GrantMsg m;
   m.request_id = unpack_u64(msg.ints[0]);
   m.degraded = msg.ints[1] != 0;
+  if (!finite_lane(msg.ints[2])) return std::nullopt;
   m.availability = unpack_double(msg.ints[2]);
   return m;
 }

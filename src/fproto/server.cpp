@@ -13,9 +13,9 @@ std::uint64_t request_seq(std::uint64_t request_id) {
 }
 }  // namespace
 
-FloorServer::FloorServer(net::Demux& demux, floorctl::GroupRegistry& registry,
+FloorServer::FloorServer(transport::Endpoint& endpoint, floorctl::GroupRegistry& registry,
                          floorctl::FloorService& service, ServerConfig config)
-    : demux_(demux),
+    : ep_(endpoint),
       registry_(registry),
       service_(service),
       config_(config),
@@ -27,7 +27,7 @@ FloorServer::FloorServer(net::Demux& demux, floorctl::GroupRegistry& registry,
   // what this constructor managed to register, then throw.
   std::vector<MsgKind> registered;
   const auto reg = [&](MsgKind kind, std::function<void(const net::Message&)> fn) {
-    if (!demux_.on(wire_type(kind), std::move(fn))) return false;
+    if (!ep_.on(wire_type(kind), std::move(fn))) return false;
     registered.push_back(kind);
     return true;
   };
@@ -43,19 +43,19 @@ FloorServer::FloorServer(net::Demux& demux, floorctl::GroupRegistry& registry,
   owned &= reg(MsgKind::kResumeAck,
                [this](const net::Message& m) { handle_resume_ack(m); });
   if (!owned) {
-    for (const MsgKind kind : registered) demux_.off(wire_type(kind));
+    for (const MsgKind kind : registered) ep_.off(wire_type(kind));
     throw std::logic_error("fproto server types already handled on this node");
   }
 }
 
 FloorServer::~FloorServer() {
   for (auto& [id, pending] : pending_notifies_) {
-    if (pending.retry_event != 0) demux_.sim().cancel(pending.retry_event);
+    if (pending.retry_timer != 0) ep_.cancel(pending.retry_timer);
   }
   for (const MsgKind kind :
        {MsgKind::kJoin, MsgKind::kLeave, MsgKind::kRequest, MsgKind::kRelease,
         MsgKind::kSuspendAck, MsgKind::kResumeAck}) {
-    demux_.off(wire_type(kind));
+    ep_.off(wire_type(kind));
   }
 }
 
@@ -67,7 +67,7 @@ void FloorServer::transmit(net::NodeId node, net::MsgType type,
                            const net::Payload& ints) {
   ++sends_;
   wire_->server_sends.add();
-  demux_.send(node, type, ints);
+  ep_.send(node, type, ints);
 }
 
 void FloorServer::replay_hit(floorctl::MemberId member, floorctl::HostId host) {
@@ -335,7 +335,7 @@ void FloorServer::notify(floorctl::MemberId member, MsgKind kind,
     wire_->server_resumes.add();
   }
   transmit(pending.node, wire_type(kind), pending.ints);
-  pending.retry_event = demux_.sim().schedule_in(
+  pending.retry_timer = ep_.schedule_in(
       config_.notify_retry, [this, notify_id] { notify_tick(notify_id); });
   pending_notifies_.emplace(notify_id, std::move(pending));
 }
@@ -344,7 +344,7 @@ void FloorServer::notify_tick(std::uint64_t notify_id) {
   const auto it = pending_notifies_.find(notify_id);
   if (it == pending_notifies_.end()) return;  // acked in the meantime
   Notify& pending = it->second;
-  pending.retry_event = 0;
+  pending.retry_timer = 0;
   if (pending.tries >= config_.notify_max_tries) {
     ++notifies_abandoned_;
     pending_notifies_.erase(it);
@@ -358,7 +358,7 @@ void FloorServer::notify_tick(std::uint64_t notify_id) {
                   static_cast<std::int64_t>(notify_id));
   }
   transmit(pending.node, wire_type(pending.kind), pending.ints);
-  pending.retry_event = demux_.sim().schedule_in(
+  pending.retry_timer = ep_.schedule_in(
       config_.notify_retry, [this, notify_id] { notify_tick(notify_id); });
 }
 
@@ -367,7 +367,7 @@ void FloorServer::handle_suspend_ack(const net::Message& msg) {
   if (!ack) return;
   const auto it = pending_notifies_.find(ack->notify_id);
   if (it == pending_notifies_.end()) return;  // duplicate ack
-  if (it->second.retry_event != 0) demux_.sim().cancel(it->second.retry_event);
+  if (it->second.retry_timer != 0) ep_.cancel(it->second.retry_timer);
   pending_notifies_.erase(it);
 }
 
@@ -376,7 +376,7 @@ void FloorServer::handle_resume_ack(const net::Message& msg) {
   if (!ack) return;
   const auto it = pending_notifies_.find(ack->notify_id);
   if (it == pending_notifies_.end()) return;
-  if (it->second.retry_event != 0) demux_.sim().cancel(it->second.retry_event);
+  if (it->second.retry_timer != 0) ep_.cancel(it->second.retry_timer);
   pending_notifies_.erase(it);
 }
 

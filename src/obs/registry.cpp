@@ -194,7 +194,14 @@ WireInstruments::WireInstruments(MetricsRegistry& registry)
       server_resumes(registry.counter("wire.server.resumes")),
       server_notify_retransmits(
           registry.counter("wire.server.notify_retransmits")),
-      grant_latency_us(registry.histogram("wire.grant_latency_us")) {}
+      grant_latency_us(registry.histogram("wire.grant_latency_us")),
+      udp_tx_datagrams(registry.counter("wire.udp.tx_datagrams")),
+      udp_rx_datagrams(registry.counter("wire.udp.rx_datagrams")),
+      udp_drop_malformed(registry.counter("wire.udp.drop_malformed")),
+      udp_drop_version(registry.counter("wire.udp.drop_version")),
+      udp_drop_unknown_kind(registry.counter("wire.udp.drop_unknown_kind")),
+      udp_drop_unhandled(registry.counter("wire.udp.drop_unhandled")),
+      udp_send_failures(registry.counter("wire.udp.send_failures")) {}
 
 WireInstruments& WireInstruments::global() {
   static WireInstruments instruments(MetricsRegistry::global());

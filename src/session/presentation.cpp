@@ -15,6 +15,7 @@ struct Presentation::Station {
   floorctl::HostId home;  // the host shard this station is homed to
   net::NodeId node;
   std::unique_ptr<net::Demux> demux;
+  std::unique_ptr<transport::SimTransport> transport;
   std::unique_ptr<clk::DriftClock> local_clock;
   std::unique_ptr<clk::GlobalClockClient> clock_client;
   std::unique_ptr<clk::AdmissionController> admission;
@@ -45,6 +46,8 @@ Presentation::Presentation(SessionConfig config)
       tracer_(65536),
       server_node_(network_.add_node("server")),
       server_demux_(std::make_unique<net::Demux>(network_, server_node_)),
+      server_transport_(
+          std::make_unique<transport::SimTransport>(*server_demux_)),
       server_clock_(sim_) {
   config_.hosts = std::max(1, config_.hosts);
   // Trace timestamps are SIM time: deterministic, and the exported Chrome
@@ -93,6 +96,8 @@ Presentation::Presentation(SessionConfig config)
     } else {
       endpoint.node = network_.add_node("floor" + std::to_string(h));
       endpoint.demux = std::make_unique<net::Demux>(network_, endpoint.node);
+      endpoint.transport =
+          std::make_unique<transport::SimTransport>(*endpoint.demux);
     }
     endpoints_.push_back(std::move(endpoint));
   }
@@ -108,9 +113,11 @@ Presentation::Presentation(SessionConfig config)
   // Federated moderation: one FloorServer per shard, all over the same
   // GroupRegistry — one conference, arbitration partitioned by host.
   for (Endpoint& endpoint : endpoints_) {
-    net::Demux& demux = endpoint.demux ? *endpoint.demux : *server_demux_;
+    transport::SimTransport& transport =
+        endpoint.transport ? *endpoint.transport : *server_transport_;
     endpoint.server = std::make_unique<fproto::FloorServer>(
-        demux, registry_, *arbitration_->shard(endpoint.host), config_.server);
+        transport, registry_, *arbitration_->shard(endpoint.host),
+        config_.server);
   }
 
   for (int i = 0; i < config_.stations; ++i) {
@@ -143,6 +150,7 @@ Presentation::Presentation(SessionConfig config)
     }
 
     s.demux = std::make_unique<net::Demux>(network_, s.node);
+    s.transport = std::make_unique<transport::SimTransport>(*s.demux);
     // Workstation oscillators: deterministic spread of drift and phase.
     const double drift_ppm = ((i * 83) % 400) - 200.0;
     const Duration phase = Duration::millis((i % 9) * 10 - 40);
@@ -229,7 +237,7 @@ Presentation::Presentation(SessionConfig config)
     };
     events.on_released = [&s](std::uint64_t) { ++s.releases; };
     s.agent = std::make_unique<fproto::FloorAgent>(
-        *s.demux, endpoint.node, s.member, group_, s.home, config_.agent,
+        *s.transport, endpoint.node, s.member, group_, s.home, config_.agent,
         events);
 
     // Scripted entrances: stations trickle in, then request staggered.

@@ -1,0 +1,238 @@
+#ifdef __linux__
+
+#include "transport/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace dmps::transport {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t addr_key(std::uint32_t ip_be, std::uint16_t port_be) {
+  return (static_cast<std::uint64_t>(ip_be) << 16) | port_be;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- UdpLoop
+
+UdpLoop::UdpLoop() : epoch_ns_(steady_ns()) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+}
+
+UdpLoop::~UdpLoop() {
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+util::TimePoint UdpLoop::now() const {
+  return util::TimePoint::from_nanos(steady_ns() - epoch_ns_);
+}
+
+bool UdpLoop::add_fd(int fd, std::function<void()> on_readable) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  fd_handlers_[fd] = std::move(on_readable);
+  return true;
+}
+
+void UdpLoop::remove_fd(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fd_handlers_.erase(fd);
+}
+
+void UdpLoop::poll(util::Duration max_wait) {
+  // Armed timers bound the wait to one wheel tick so a deadline is never
+  // late by more than the tick resolution.
+  std::int64_t wait_ms = max_wait.raw_nanos() / 1'000'000;
+  if (wait_ms < 0) wait_ms = 0;
+  if (!wheel_.empty()) {
+    const std::int64_t tick_ms = wheel_.tick().raw_nanos() / 1'000'000;
+    if (tick_ms < wait_ms) wait_ms = tick_ms < 1 ? 1 : tick_ms;
+  }
+
+  epoll_event events[64];
+  const int n = epoll_wait(epoll_fd_, events, 64, static_cast<int>(wait_ms));
+  for (int i = 0; i < n; ++i) {
+    const auto it = fd_handlers_.find(events[i].data.fd);
+    if (it != fd_handlers_.end()) it->second();
+  }
+  wheel_.advance(now());
+}
+
+void UdpLoop::run_while(const std::function<bool()>& keep_going) {
+  while (!stopped_ && keep_going()) poll();
+}
+
+// ------------------------------------------------------------- UdpEndpoint
+
+UdpEndpoint::UdpEndpoint(UdpLoop& loop, WireSchema schema, std::uint16_t port,
+                         obs::WireInstruments* obs)
+    : loop_(loop),
+      schema_(std::move(schema)),
+      wire_(obs != nullptr ? obs : &obs::WireInstruments::global()) {
+  for (std::size_t i = 0; i < schema_.types.size(); ++i) {
+    wire_ids_[schema_.types[i].value()] = static_cast<std::uint8_t>(i);
+  }
+
+  fd_ = socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("udp socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd_);
+    throw std::runtime_error("udp bind failed (port in use?)");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    local_port_ = ntohs(addr.sin_port);
+  }
+  if (!loop_.add_fd(fd_, [this] { drain_socket(); })) {
+    close(fd_);
+    throw std::runtime_error("epoll add failed for udp socket");
+  }
+}
+
+UdpEndpoint::~UdpEndpoint() {
+  loop_.remove_fd(fd_);
+  close(fd_);
+}
+
+net::NodeId UdpEndpoint::intern_peer(std::uint32_t ip_be, std::uint16_t port_be) {
+  const std::uint64_t key = addr_key(ip_be, port_be);
+  const auto it = peer_ids_.find(key);
+  if (it != peer_ids_.end()) return net::NodeId{it->second};
+  const auto index = static_cast<std::uint32_t>(peers_.size());
+  peers_.push_back(Peer{ip_be, port_be});
+  peer_ids_.emplace(key, index);
+  return net::NodeId{index};
+}
+
+net::NodeId UdpEndpoint::add_peer(const std::string& ipv4, std::uint16_t port) {
+  in_addr parsed{};
+  if (inet_pton(AF_INET, ipv4.c_str(), &parsed) != 1) {
+    throw std::runtime_error("bad peer address: " + ipv4);
+  }
+  return intern_peer(parsed.s_addr, htons(port));
+}
+
+bool UdpEndpoint::on(net::MsgType type, Handler handler) {
+  const std::size_t index = type.value();
+  if (index >= handlers_.size()) handlers_.resize(index + 1);
+  if (handlers_[index]) return false;
+  handlers_[index] = std::move(handler);
+  return true;
+}
+
+void UdpEndpoint::off(net::MsgType type) {
+  const std::size_t index = type.value();
+  if (index < handlers_.size()) handlers_[index] = nullptr;
+}
+
+void UdpEndpoint::send(net::NodeId to, net::MsgType type, net::Payload ints) {
+  const auto wire_id = wire_ids_.find(type.value());
+  if (wire_id == wire_ids_.end() || !to.valid() ||
+      to.value() >= peers_.size()) {
+    wire_->udp_send_failures.add();  // not in the schema / unknown peer
+    return;
+  }
+  std::uint8_t buf[kFrameMaxBytes];
+  const std::size_t size = encode_frame(wire_id->second, ints, buf, sizeof(buf));
+  if (size == 0) {
+    wire_->udp_send_failures.add();
+    return;
+  }
+  // The datagram is "on the wire" from here: a rejecting send filter is the
+  // wire eating it, indistinguishable from real loss to the caller.
+  wire_->udp_tx_datagrams.add();
+  if (send_filter_ && !send_filter_(to, type)) return;
+
+  const Peer& peer = peers_[to.value()];
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = peer.ip_be;
+  addr.sin_port = peer.port_be;
+  if (sendto(fd_, buf, size, 0, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    wire_->udp_send_failures.add();
+  }
+}
+
+transport::TimerId UdpEndpoint::schedule_in(util::Duration delay,
+                                            std::function<void()> cb) {
+  return loop_.wheel().schedule_at(loop_.now() + delay, std::move(cb));
+}
+
+bool UdpEndpoint::cancel(TimerId id) { return loop_.wheel().cancel(id); }
+
+void UdpEndpoint::drain_socket() {
+  // Level-triggered epoll still drains to EAGAIN: one wakeup, all queued
+  // datagrams, so a request burst can't starve the timer wheel behind
+  // per-poll single reads.
+  std::uint8_t buf[2048];
+  for (;;) {
+    sockaddr_in src{};
+    socklen_t src_len = sizeof(src);
+    const ssize_t n = recvfrom(fd_, buf, sizeof(buf), 0,
+                               reinterpret_cast<sockaddr*>(&src), &src_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient socket error; next poll retries
+    }
+    wire_->udp_rx_datagrams.add();
+
+    Frame frame;
+    switch (decode_frame(buf, static_cast<std::size_t>(n), frame)) {
+      case FrameError::kOk:
+        break;
+      case FrameError::kBadVersion:
+        wire_->udp_drop_version.add();
+        continue;
+      case FrameError::kShort:
+      case FrameError::kBadMagic:
+      case FrameError::kBadLaneCount:
+        wire_->udp_drop_malformed.add();
+        continue;
+    }
+    if (frame.kind >= schema_.types.size()) {
+      wire_->udp_drop_unknown_kind.add();
+      continue;
+    }
+    const net::MsgType type = schema_.types[frame.kind];
+    const std::size_t index = type.value();
+    if (index >= handlers_.size() || !handlers_[index]) {
+      wire_->udp_drop_unhandled.add();
+      continue;
+    }
+    net::Message msg;
+    msg.from = intern_peer(src.sin_addr.s_addr, src.sin_port);
+    msg.to = net::NodeId::invalid();  // "this endpoint"; handlers reply to from
+    msg.type = type;
+    msg.ints = std::move(frame.ints);
+    handlers_[index](msg);
+  }
+}
+
+}  // namespace dmps::transport
+
+#endif  // __linux__

@@ -6,6 +6,7 @@
 #include "fproto/agent.hpp"
 #include "fproto/codec.hpp"
 #include "fproto/server.hpp"
+#include "transport/sim_transport.hpp"
 
 namespace {
 
@@ -153,6 +154,7 @@ struct ProtoWorld {
   net::SimNetwork network;
   net::NodeId server_node;
   net::Demux server_demux;
+  transport::SimTransport server_transport;
   clk::TrueClock clock;
   GroupRegistry registry;
   FloorService service;
@@ -164,6 +166,7 @@ struct ProtoWorld {
   struct Station {
     net::NodeId node;
     std::unique_ptr<net::Demux> demux;
+    std::unique_ptr<transport::SimTransport> transport;
     std::unique_ptr<fproto::FloorAgent> agent;
     // Latest observed callbacks.
     int granted = 0, denied = 0, queued = 0, suspended = 0, resumed = 0,
@@ -180,9 +183,10 @@ struct ProtoWorld {
                 net::LinkQuality{Duration::millis(5), Duration::millis(2), loss}),
         server_node(network.add_node("server")),
         server_demux(network, server_node),
+        server_transport(server_demux),
         clock(sim),
         service(registry, clock, Thresholds{0.25, 0.05}),
-        server(server_demux, registry, service, {Duration::millis(120), 200}) {
+        server(server_transport, registry, service, {Duration::millis(120), 200}) {
     service.add_host(host, capacity);
     chair = registry.add_member("chair", 100, host);
     group = registry.create_group("g", mode, chair, policy);
@@ -200,6 +204,7 @@ struct ProtoWorld {
         as.valid() ? as : registry.add_member(name, priority, host);
     s.node = network.add_node(name);
     s.demux = std::make_unique<net::Demux>(network, s.node);
+    s.transport = std::make_unique<transport::SimTransport>(*s.demux);
     fproto::AgentEvents events;
     events.on_joined = [&s] { ++s.joined; };
     events.on_granted = [&s](std::uint64_t, bool) { ++s.granted; };
@@ -209,8 +214,8 @@ struct ProtoWorld {
     events.on_resumed = [&s](std::uint64_t) { ++s.resumed; };
     events.on_released = [&s](std::uint64_t) { ++s.released; };
     events.on_failed = [&s](AgentState) { ++s.failed; };
-    s.agent = std::make_unique<fproto::FloorAgent>(*s.demux, server_node, member,
-                                                   group, host, config, events);
+    s.agent = std::make_unique<fproto::FloorAgent>(
+        *s.transport, server_node, member, group, host, config, events);
     return s;
   }
 
@@ -723,6 +728,44 @@ TEST(FloorServer, ResurrectedOldRequestIdIsRefusedWithoutArbitration) {
   EXPECT_EQ(w.server.duplicate_requests(), 1u);
   EXPECT_EQ(w.service.active_grants(), 1u);  // id2's grant only
   EXPECT_EQ(s.agent->state(), AgentState::kGranted);  // the Deny replay is a dup
+}
+
+TEST(FloorAgent, ExponentialBackoffSendsFarFewerThanFixedDuringOutage) {
+  // A total outage (loss 1.0 both ways) for three seconds, then a healed
+  // link. Both schedules must converge to a grant once the link heals; the
+  // backed-off agent must get there with strictly fewer datagrams — that is
+  // the whole point of the satellite.
+  const auto outage_run = [](double factor, Duration cap) {
+    ProtoWorld w(31, 0.0);
+    auto& s = w.add_station("a", 1,
+                            fproto::AgentConfig{Duration::millis(50), 200,
+                                                factor, cap});
+    EXPECT_TRUE(s.agent->join());
+    w.run_for(1.0);
+    EXPECT_EQ(s.agent->state(), AgentState::kJoined);
+    const auto sends_before = s.agent->messages_sent();
+
+    const net::LinkQuality dead{Duration::millis(5), Duration::millis(2), 1.0};
+    w.network.set_link(s.node, w.server_node, dead);
+    w.network.set_link(w.server_node, s.node, dead);
+    s.agent->request_floor(media::QosRequirement{0.4, 0.4, 0.4});
+    w.run_for(3.0);
+    EXPECT_EQ(s.agent->state(), AgentState::kPending);  // still trying
+
+    const net::LinkQuality healed{Duration::millis(5), Duration::millis(2), 0.0};
+    w.network.set_link(s.node, w.server_node, healed);
+    w.network.set_link(w.server_node, s.node, healed);
+    w.run_for(5.0);
+    EXPECT_EQ(s.agent->state(), AgentState::kGranted);
+    return s.agent->messages_sent() - sends_before;
+  };
+
+  // factor 1.0 = the old fixed-interval schedule; 2.0 doubles to a 1s cap.
+  const auto fixed_sends = outage_run(1.0, Duration::millis(50));
+  const auto backoff_sends = outage_run(2.0, Duration::seconds(1));
+  EXPECT_GT(fixed_sends, 40u);  // ~20/s across a 3 s outage
+  EXPECT_LT(backoff_sends, fixed_sends / 3);
+  EXPECT_GE(backoff_sends, 5u);  // but it never went silent
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// dmps_floord: the floor-control daemon — fproto::FloorServer on real UDP.
+//
+// One process, one thread, one epoll loop: a UdpEndpoint speaking the
+// transport frame, a FloorService arbitrating on wall time, and a
+// FloorServer gluing them together exactly as it runs over SimNetwork in
+// the tests. Members/groups/hosts are pre-registered from the topology
+// convention in wire_common.hpp; clients (dmps_loadgen) learn nothing from
+// the daemon but its address.
+//
+//   dmps_floord --port 4711 --hosts 4 --groups 4 --members 64
+//               [--capacity 4.0 --policy queueing]
+//
+// Signals (all handled on the loop via signalfd, never in handler
+// context):
+//   SIGUSR1        dump a metrics JSON snapshot to stdout
+//   SIGINT/SIGTERM graceful shutdown — stop the loop, release every
+//                  outstanding grant (sweeping freed hosts), dump final
+//                  metrics, exit 0.
+
+#include <signal.h>
+#include <sys/signalfd.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "floor/group.hpp"
+#include "floor/service.hpp"
+#include "fproto/codec.hpp"
+#include "fproto/server.hpp"
+#include "obs/registry.hpp"
+#include "transport/udp.hpp"
+#include "wire_common.hpp"
+
+namespace {
+
+using namespace dmps;
+
+struct Options {
+  std::uint16_t port = 4711;
+  tools::WireTopology topology;
+  int members = 64;
+  double capacity = 4.0;
+  floorctl::PolicyKind policy = floorctl::PolicyKind::kThreeRegime;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  opt.port = static_cast<std::uint16_t>(
+      tools::flag_long(argc, argv, "--port", opt.port));
+  opt.topology.hosts = static_cast<int>(
+      tools::flag_long(argc, argv, "--hosts", opt.topology.hosts));
+  opt.topology.groups = static_cast<int>(
+      tools::flag_long(argc, argv, "--groups", opt.topology.groups));
+  opt.members =
+      static_cast<int>(tools::flag_long(argc, argv, "--members", opt.members));
+  opt.capacity = tools::flag_double(argc, argv, "--capacity", opt.capacity);
+  const std::string policy =
+      tools::flag_string(argc, argv, "--policy", "three_regime");
+  if (policy == "queueing") {
+    opt.policy = floorctl::PolicyKind::kQueueing;
+  } else if (policy != "three_regime") {
+    std::fprintf(stderr, "dmps_floord: unknown --policy '%s' "
+                         "(three_regime|queueing)\n", policy.c_str());
+    std::exit(2);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  obs::MetricsRegistry metrics;
+  obs::WireInstruments wire(metrics);
+  obs::FloorInstruments floor(metrics);
+
+  transport::UdpLoop loop;
+  transport::LoopClock clock(loop);
+  transport::UdpEndpoint endpoint(loop, fproto::wire_schema(), opt.port, &wire);
+
+  // The conference, pre-registered under one snapshot publish.
+  floorctl::GroupRegistry registry;
+  floorctl::MemberId chair;
+  std::vector<floorctl::MemberId> members;
+  std::vector<floorctl::GroupId> groups;
+  {
+    floorctl::GroupRegistry::Batch batch(registry);
+    chair = registry.add_member("moderator", 1'000'000,
+                                floorctl::HostId{1});
+    members.reserve(static_cast<std::size_t>(opt.members));
+    for (int i = 0; i < opt.members; ++i) {
+      members.push_back(registry.add_member(
+          "m" + std::to_string(i), 1 + (i % 3),
+          floorctl::HostId{static_cast<std::uint32_t>(opt.topology.host_of(i))}));
+    }
+    groups.reserve(static_cast<std::size_t>(opt.topology.groups));
+    for (int g = 0; g < opt.topology.groups; ++g) {
+      groups.push_back(registry.create_group("g" + std::to_string(g),
+                                             floorctl::FcmMode::kFreeAccess,
+                                             chair, opt.policy));
+    }
+  }
+
+  floorctl::FloorService service(registry, clock,
+                                 resource::Thresholds{0.25, 0.05});
+  service.set_instruments(&floor);
+  for (int h = 0; h < opt.topology.hosts; ++h) {
+    service.add_host(floorctl::HostId{static_cast<std::uint32_t>(1 + h)},
+                     resource::Resource{opt.capacity, opt.capacity, opt.capacity});
+  }
+
+  fproto::ServerConfig server_config;
+  server_config.notify_retry = util::Duration::millis(100);
+  server_config.obs = &wire;
+  fproto::FloorServer server(endpoint, registry, service, server_config);
+
+  metrics.freeze();  // setup done; hot-path registration is a bug from here
+
+  // Signals arrive as loop events: block them process-wide, read them from
+  // a signalfd on the same epoll that serves datagrams.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGUSR1);
+  if (sigprocmask(SIG_BLOCK, &mask, nullptr) != 0) {
+    std::perror("dmps_floord: sigprocmask");
+    return 1;
+  }
+  const int signal_fd = signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+  if (signal_fd < 0) {
+    std::perror("dmps_floord: signalfd");
+    return 1;
+  }
+  loop.add_fd(signal_fd, [&] {
+    signalfd_siginfo info;
+    while (read(signal_fd, &info, sizeof(info)) == sizeof(info)) {
+      if (info.ssi_signo == SIGUSR1) {
+        metrics.write_json(std::cout);
+        std::cout << std::endl;
+      } else {
+        loop.stop();
+      }
+    }
+  });
+
+  std::fprintf(stderr,
+               "dmps_floord: listening on udp/%u (hosts=%d groups=%d "
+               "members=%d capacity=%.2f policy=%s)\n",
+               endpoint.local_port(), opt.topology.hosts, opt.topology.groups,
+               opt.members, opt.capacity,
+               std::string(to_string(opt.policy)).c_str());
+
+  loop.run_while([] { return true; });
+
+  // Graceful shutdown: give back everything still held or parked — the
+  // release path sweeps every host it frees capacity on, promoting/
+  // resuming whatever remains — then sweep each host once more so no
+  // capacity is left stranded, and report the final counters.
+  std::fprintf(stderr, "dmps_floord: shutting down, releasing grants\n");
+  for (const floorctl::MemberId member : members) {
+    for (const floorctl::GroupId group : groups) {
+      service.release(member, group);
+    }
+  }
+  for (int h = 0; h < opt.topology.hosts; ++h) {
+    service.sweep(floorctl::HostId{static_cast<std::uint32_t>(1 + h)});
+  }
+  metrics.write_json(std::cout);
+  std::cout << std::endl;
+  close(signal_fd);
+  return 0;
+}

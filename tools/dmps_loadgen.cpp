@@ -1,0 +1,224 @@
+// dmps_loadgen: drive N FloorAgents through request/release cycles against
+// a dmps_floord over real UDP, and report BENCH-style JSON.
+//
+// Every agent is a full fproto client — its own UDP socket, its own
+// retransmission state machine with exponential backoff — all multiplexed
+// on one epoll loop in this process. Each agent joins its group, then
+// loops: request the floor, hold it briefly, release, request again. Once
+// the measurement window closes the loadgen drains: no new requests, held
+// floors released, and every agent must come to rest (terminated()) within
+// the grace period — an agent that doesn't is *stuck*, the run's failure
+// signal, and the exit code is nonzero.
+//
+//   dmps_loadgen --host 127.0.0.1 --port 4711 --agents 32 --duration 2
+//                [--hosts 4 --groups 4 --name wire_loadgen]
+//
+// Output: a scenario table (and BENCH_<name>.json via bench_common.hpp)
+// with grant-latency percentiles measured request→grant at the client,
+// ops/s, retransmit and datagram counts, and the stuck-agent total.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fproto/agent.hpp"
+#include "fproto/codec.hpp"
+#include "obs/registry.hpp"
+#include "transport/udp.hpp"
+#include "wire_common.hpp"
+
+namespace {
+
+using namespace dmps;
+using util::Duration;
+using util::TimePoint;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 4711;
+  int agents = 32;
+  double duration_s = 2.0;
+  double grace_s = 2.0;
+  long hold_ms = 10;
+  tools::WireTopology topology;
+  std::string name = "wire_loadgen";
+};
+
+struct Client {
+  std::unique_ptr<transport::UdpEndpoint> endpoint;
+  std::unique_ptr<fproto::FloorAgent> agent;
+  net::NodeId server;
+  TimePoint requested_at;
+  std::uint64_t ops = 0;
+  std::uint64_t denies = 0;
+  bool failed = false;
+};
+
+struct LoadRun {
+  Options opt;
+  transport::UdpLoop loop;
+  obs::MetricsRegistry metrics;
+  obs::WireInstruments wire{metrics};
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::int64_t> grant_latency_us;
+  bool draining = false;
+
+  void start_request(Client& c) {
+    if (draining) return;
+    c.requested_at = loop.now();
+    c.agent->request_floor(media::QosRequirement{0.25, 0.25, 0.25});
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadRun run;
+  Options& opt = run.opt;
+  opt.host = tools::flag_string(argc, argv, "--host", opt.host.c_str());
+  opt.port =
+      static_cast<std::uint16_t>(tools::flag_long(argc, argv, "--port", opt.port));
+  opt.agents = static_cast<int>(tools::flag_long(argc, argv, "--agents", opt.agents));
+  opt.duration_s = tools::flag_double(argc, argv, "--duration", opt.duration_s);
+  opt.grace_s = tools::flag_double(argc, argv, "--grace", opt.grace_s);
+  opt.hold_ms = tools::flag_long(argc, argv, "--hold-ms", opt.hold_ms);
+  opt.topology.hosts = static_cast<int>(
+      tools::flag_long(argc, argv, "--hosts", opt.topology.hosts));
+  opt.topology.groups = static_cast<int>(
+      tools::flag_long(argc, argv, "--groups", opt.topology.groups));
+  opt.name = tools::flag_string(argc, argv, "--name", opt.name.c_str());
+
+  const transport::WireSchema schema = fproto::wire_schema();
+  run.clients.reserve(static_cast<std::size_t>(opt.agents));
+  run.grant_latency_us.reserve(4096);
+
+  for (int i = 0; i < opt.agents; ++i) {
+    auto client = std::make_unique<Client>();
+    Client& c = *client;
+    run.clients.push_back(std::move(client));
+    c.endpoint = std::make_unique<transport::UdpEndpoint>(run.loop, schema,
+                                                          0, &run.wire);
+    c.server = c.endpoint->add_peer(opt.host, opt.port);
+
+    fproto::AgentConfig config;
+    config.retry = Duration::millis(40);
+    config.max_tries = 200;
+    config.retry_factor = 2.0;
+    config.retry_cap = Duration::millis(500);
+    config.obs = &run.wire;
+
+    fproto::AgentEvents events;
+    events.on_joined = [&run, &c] { run.start_request(c); };
+    events.on_granted = [&run, &c](std::uint64_t, bool) {
+      const std::int64_t us =
+          (run.loop.now() - c.requested_at).raw_nanos() / 1000;
+      run.grant_latency_us.push_back(us);
+      run.wire.grant_latency_us.record(us);
+      // Hold the floor briefly (creates real contention), then give it
+      // back; during the drain, give it back immediately.
+      const Duration hold =
+          run.draining ? Duration::zero() : Duration::millis(run.opt.hold_ms);
+      c.endpoint->schedule_in(hold, [&c] { c.agent->release_floor(); });
+    };
+    events.on_denied = [&run, &c](std::uint64_t, floorctl::Outcome) {
+      ++c.denies;  // three-regime refusals are final: back off, try again
+      if (!run.draining) {
+        c.endpoint->schedule_in(Duration::millis(25),
+                                [&run, &c] { run.start_request(c); });
+      }
+    };
+    events.on_released = [&run, &c](std::uint64_t) {
+      ++c.ops;
+      run.start_request(c);
+    };
+    events.on_failed = [&c](fproto::AgentState) { c.failed = true; };
+
+    c.agent = std::make_unique<fproto::FloorAgent>(
+        *c.endpoint, c.server,
+        floorctl::MemberId{
+            static_cast<std::uint32_t>(opt.topology.member_of(i))},
+        floorctl::GroupId{static_cast<std::uint32_t>(opt.topology.group_of(i))},
+        floorctl::HostId{static_cast<std::uint32_t>(opt.topology.host_of(i))},
+        config, events);
+    c.agent->join();
+  }
+  run.metrics.freeze();
+
+  // Measurement window.
+  const TimePoint window_end =
+      run.loop.now() + Duration::from_seconds(opt.duration_s);
+  run.loop.run_while([&run, window_end] { return run.loop.now() < window_end; });
+  const double measured_s = opt.duration_s;
+
+  // Drain: stop the cycle, give back held floors, let in-flight operations
+  // (and queued promotions) converge within the grace period.
+  run.draining = true;
+  for (const auto& client : run.clients) {
+    const fproto::AgentState state = client->agent->state();
+    if (state == fproto::AgentState::kGranted ||
+        state == fproto::AgentState::kSuspended) {
+      client->agent->release_floor();
+    }
+  }
+  const TimePoint grace_end =
+      run.loop.now() + Duration::from_seconds(opt.grace_s);
+  const auto all_done = [&run] {
+    for (const auto& client : run.clients) {
+      if (!client->agent->terminated()) return false;
+    }
+    return true;
+  };
+  run.loop.run_while(
+      [&] { return run.loop.now() < grace_end && !all_done(); });
+
+  // Report.
+  std::uint64_t ops = 0, retransmits = 0, denies = 0;
+  int stuck = 0, failed = 0;
+  for (const auto& client : run.clients) {
+    ops += client->ops;
+    denies += client->denies;
+    retransmits += client->agent->retransmits();
+    if (!client->agent->terminated()) ++stuck;
+    if (client->failed) ++failed;
+  }
+  std::sort(run.grant_latency_us.begin(), run.grant_latency_us.end());
+  const auto pct = [&run](double p) -> std::int64_t {
+    if (run.grant_latency_us.empty()) return 0;
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(run.grant_latency_us.size() - 1));
+    return run.grant_latency_us[rank];
+  };
+  const auto value = [&run](const char* name) {
+    return static_cast<long long>(run.metrics.value(name));
+  };
+
+  bench::table_header(
+      "wire loadgen: fproto over real UDP loopback",
+      "agents | window_s | ops | ops_per_s | grant_p50_us | grant_p90_us | "
+      "grant_p99_us | denies | retransmits | tx_datagrams | rx_datagrams | "
+      "drops | stuck | failed");
+  bench::row(
+      "%6d | %8.2f | %6llu | %9.0f | %12lld | %12lld | %12lld | %6llu | "
+      "%11llu | %12lld | %12lld | %5lld | %5d | %6d",
+      opt.agents, measured_s, static_cast<unsigned long long>(ops),
+      static_cast<double>(ops) / measured_s, static_cast<long long>(pct(0.50)),
+      static_cast<long long>(pct(0.90)), static_cast<long long>(pct(0.99)),
+      static_cast<unsigned long long>(denies),
+      static_cast<unsigned long long>(retransmits),
+      value("wire.udp.tx_datagrams"), value("wire.udp.rx_datagrams"),
+      value("wire.udp.drop_malformed") + value("wire.udp.drop_version") +
+          value("wire.udp.drop_unknown_kind") +
+          value("wire.udp.drop_unhandled"),
+      stuck, failed);
+  bench::write_json(opt.name, {});
+
+  if (stuck > 0 || failed > 0) {
+    std::fprintf(stderr, "dmps_loadgen: %d stuck, %d failed agents\n", stuck,
+                 failed);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+#pragma once
+// Conventions shared by dmps_floord and dmps_loadgen.
+//
+// The two binaries never exchange configuration — they only agree on this
+// header. The topology convention maps a load generator's agent index onto
+// the id spaces the daemon pre-registers:
+//
+//   member 0            the moderator (chairs every group, never requests)
+//   member 1 + i        agent i            (priorities cycle 1..3)
+//   group  i % groups   agent i's group    (groups minted in order, ids 0..)
+//   host   1 + i % hosts  agent i's home station
+//
+// floord must be started with --members >= the loadgen's --agents and the
+// same --hosts/--groups, or the daemon refuses the unknown ids (exactly as
+// it would any stranger's datagram).
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace dmps::tools {
+
+/// `--name value` or `--name=value`; nullptr when absent.
+inline const char* flag_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) != 0) continue;
+    if (argv[i][len] == '=') return argv[i] + len + 1;
+    if (argv[i][len] == '\0' && i + 1 < argc) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+inline long flag_long(int argc, char** argv, const char* name, long fallback) {
+  const char* v = flag_value(argc, argv, name);
+  return v != nullptr ? std::strtol(v, nullptr, 10) : fallback;
+}
+
+inline double flag_double(int argc, char** argv, const char* name,
+                          double fallback) {
+  const char* v = flag_value(argc, argv, name);
+  return v != nullptr ? std::strtod(v, nullptr) : fallback;
+}
+
+inline std::string flag_string(int argc, char** argv, const char* name,
+                               const char* fallback) {
+  const char* v = flag_value(argc, argv, name);
+  return std::string(v != nullptr ? v : fallback);
+}
+
+/// The shared id-space convention (see file header).
+struct WireTopology {
+  int hosts = 4;
+  int groups = 4;
+
+  int member_of(int agent) const { return 1 + agent; }
+  int group_of(int agent) const { return agent % groups; }
+  int host_of(int agent) const { return 1 + agent % hosts; }
+};
+
+}  // namespace dmps::tools
