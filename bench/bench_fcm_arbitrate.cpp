@@ -970,7 +970,9 @@ void million_member_scenario(const std::string& trace_out) {
   // (4096 fingerprint keys instead of one per station) and no time source
   // is set (pure-throughput run; fingerprints never read timestamps).
   obs::MetricsRegistry metrics;
+  // dmps-lint: obs-register-begin — per-sweep setup, before workers spawn.
   obs::FloorInstruments instruments(metrics);
+  // dmps-lint: obs-register-end
   ParallelShardedFloorService::Options options;
   options.workers = workers;
   obs::TraceHub trace(workers, 4096);

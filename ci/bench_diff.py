@@ -116,7 +116,7 @@ def diff_tables(base, cur):
     return flagged
 
 
-def diff_fingerprints(base, cur):
+def diff_fingerprints(base, cur, cross_compiler=False):
     """Rows of (scenario, old, new, flag) plus the gating mismatch count.
 
     A fingerprint (dmps::obs, DESIGN.md §7) hashes a scenario's decision
@@ -126,6 +126,13 @@ def diff_fingerprints(base, cur):
     false on either side) and scenarios missing from one side are
     report-only. Baselines written before the field existed have no
     "fingerprints" key and must pass untouched.
+
+    `cross_compiler` downgrades deterministic mismatches to report-only:
+    the hash is designed to be compiler-independent, but a baseline from a
+    different toolchain makes "behavior change vs baseline drift"
+    undecidable from here (per-compiler CI caches normally prevent this —
+    seeing it means the cache crossed streams, which deserves a warning,
+    not a red build).
     """
     rows = []
     mismatches = 0
@@ -138,6 +145,11 @@ def diff_fingerprints(base, cur):
         if b["value"] == f["value"]:
             continue  # matches are the expected steady state: keep quiet
         if b.get("deterministic") and f.get("deterministic"):
+            if cross_compiler:
+                rows.append((f["scenario"], b["value"], f["value"],
+                             "mismatch (cross-compiler baseline, "
+                             "report-only)"))
+                continue
             mismatches += 1
             rows.append((f["scenario"], b["value"], f["value"],
                          "FINGERPRINT MISMATCH"))
@@ -168,6 +180,48 @@ def provenance_line(base, cur):
                 f"ndebug={prov.get('ndebug', '?')}")
 
     return f"\nbuilt from: {fmt(bprov)} -> {fmt(cprov)}"
+
+
+PROVENANCE_FIELDS = ("git_sha", "compiler", "sanitizer")
+
+
+def validate_provenance(name, cur):
+    """Warning lines for a current-run BENCH json whose provenance is
+    missing or incomplete. Warnings only — an old bench writer must not
+    fail the gate — but every field below is something the diff needs to
+    interpret the numbers (which commit, which toolchain, whether a
+    sanitizer tax applies), so silence would be worse."""
+    warnings = []
+    prov = cur.get("provenance")
+    if not isinstance(prov, dict):
+        warnings.append(f"> :warning: `{name}`: no provenance object — "
+                        "cannot tell which commit/compiler produced these "
+                        "numbers (bench writer predates provenance?)")
+        return warnings
+    missing = [f for f in PROVENANCE_FIELDS
+               if not isinstance(prov.get(f), str) or not prov.get(f)
+               or prov.get(f) == "unknown"]
+    if missing:
+        warnings.append(f"> :warning: `{name}`: provenance incomplete — "
+                        f"missing {', '.join(missing)}")
+    return warnings
+
+
+def cross_compiler_warning(name, base, cur):
+    """A warning line when the two sides were built by different compilers
+    (per-compiler baseline caches should make this impossible — seeing it
+    means the comparison itself is suspect), else None."""
+    bprov = base.get("provenance")
+    cprov = cur.get("provenance")
+    if not isinstance(bprov, dict) or not isinstance(cprov, dict):
+        return None
+    bcc, ccc = bprov.get("compiler"), cprov.get("compiler")
+    if not bcc or not ccc or bcc == ccc:
+        return None
+    return (f"> :warning: `{name}`: baseline built by `{bcc}` but this run "
+            f"by `{ccc}` — cpu_time deltas reflect the toolchain as much as "
+            "the code, and fingerprint mismatches are downgraded to "
+            "report-only for this file")
 
 
 def rss_line(base, cur):
@@ -209,11 +263,17 @@ def compare(baseline, current, threshold, allow_noisy):
         report.append(f"\n### `{name}`")
         if base is None:
             report.append("_new bench, no baseline_")
+            report.extend(validate_provenance(name, cur))
             continue
         prov = provenance_line(base, cur)
         if prov:
             report.append(prov)
-        prints, mismatches = diff_fingerprints(base, cur)
+        report.extend(validate_provenance(name, cur))
+        cross = cross_compiler_warning(name, base, cur)
+        if cross:
+            report.append(cross)
+        prints, mismatches = diff_fingerprints(base, cur,
+                                               cross_compiler=bool(cross))
         regressions += mismatches
         if prints:
             report.append("\n| fingerprint | prev | now | |")

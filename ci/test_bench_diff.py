@@ -184,6 +184,61 @@ class CompareGating(unittest.TestCase):
         self.assertTrue(any("abc1234" in line and "def5678" in line
                             for line in lines))
 
+    def test_missing_provenance_warns_but_never_gates(self):
+        base = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 100.0)])}
+        cur = {"BENCH_x.json": bench(micro=[micro("BM_Hot", 100.0)])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("no provenance object" in line for line in lines))
+
+    def test_incomplete_provenance_names_the_missing_fields(self):
+        base = {"BENCH_x.json": bench()}
+        cur = {"BENCH_x.json": dict(bench(), provenance={
+            "git_sha": "def5678"})}  # compiler and sanitizer absent
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("provenance incomplete" in line
+                            and "compiler" in line and "sanitizer" in line
+                            for line in lines))
+
+    def test_new_bench_provenance_is_still_validated(self):
+        lines, regressions = bench_diff.compare(
+            {"BENCH_other.json": bench()}, {"BENCH_x.json": bench()},
+            25.0, [])
+        self.assertTrue(any("no provenance object" in line for line in lines))
+
+    def test_cross_compiler_fingerprint_mismatch_warns_not_gates(self):
+        base = {"BENCH_x.json": dict(bench(), provenance={
+            "git_sha": "abc1234", "compiler": "g++ 12", "sanitizer": "none"},
+            fingerprints=[fingerprint("federation/deterministic", "aaaa",
+                                      True)])}
+        cur = {"BENCH_x.json": dict(bench(), provenance={
+            "git_sha": "def5678", "compiler": "clang 17",
+            "sanitizer": "none"},
+            fingerprints=[fingerprint("federation/deterministic", "bbbb",
+                                      True)])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 0)
+        self.assertTrue(any("baseline built by `g++ 12`" in line
+                            for line in lines))
+        self.assertTrue(any("cross-compiler baseline, report-only" in line
+                            for line in lines))
+        self.assertFalse(any("FINGERPRINT MISMATCH" in line
+                             for line in lines))
+
+    def test_same_compiler_fingerprint_mismatch_still_gates(self):
+        prov = {"git_sha": "abc1234", "compiler": "g++ 12",
+                "sanitizer": "none"}
+        base = {"BENCH_x.json": dict(bench(), provenance=dict(prov),
+            fingerprints=[fingerprint("federation/deterministic", "aaaa",
+                                      True)])}
+        cur = {"BENCH_x.json": dict(bench(), provenance=dict(prov),
+            fingerprints=[fingerprint("federation/deterministic", "bbbb",
+                                      True)])}
+        lines, regressions = bench_diff.compare(base, cur, 25.0, [])
+        self.assertEqual(regressions, 1)
+        self.assertTrue(any("FINGERPRINT MISMATCH" in line for line in lines))
+
     def test_shape_mismatched_tables_are_skipped(self):
         base = {"BENCH_x.json": bench(
             tables=[table("t", ["a"], [["1.0"], ["2.0"]])])}

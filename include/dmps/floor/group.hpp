@@ -30,10 +30,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "floor/types.hpp"
 
 namespace dmps::floorctl {
@@ -92,13 +92,21 @@ class GroupRegistry {
 
   /// Scope many mutations into one copy-on-write publish (one epoch bump at
   /// scope exit). Holds the mutation lock for its lifetime; nestable.
+  ///
+  /// Batch is the one deliberate thread-safety-analysis suppression in the
+  /// registry (DESIGN.md §10): it holds the recursive mutation lock while
+  /// the mutators called inside the scope re-acquire it, a re-entrant
+  /// pattern the analysis cannot model before clang 20's reentrant
+  /// capabilities. The ctor/dtor are therefore opted out; every mutator
+  /// and the publish path itself stay fully checked.
   class Batch {
    public:
-    explicit Batch(GroupRegistry& registry) : registry_(registry) {
+    explicit Batch(GroupRegistry& registry) DMPS_NO_THREAD_SAFETY_ANALYSIS
+        : registry_(registry) {
       registry_.mu_.lock();
       ++registry_.batch_depth_;
     }
-    ~Batch() {
+    ~Batch() DMPS_NO_THREAD_SAFETY_ANALYSIS {
       if (--registry_.batch_depth_ == 0 && registry_.dirty()) {
         registry_.publish_locked();
       }
@@ -133,21 +141,26 @@ class GroupRegistry {
   std::size_t group_count() const { return snapshot()->group_count(); }
 
  private:
-  bool dirty() const { return members_dirty_ || groups_dirty_; }
-  void publish_locked();
-  void publish_if_unbatched_locked();
+  bool dirty() const DMPS_REQUIRES(mu_) {
+    return members_dirty_ || groups_dirty_;
+  }
+  void publish_locked() DMPS_REQUIRES(mu_);
+  void publish_if_unbatched_locked() DMPS_REQUIRES(mu_);
 
   // Mutation lock: serializes mutators and Batch scopes. Recursive so a
   // mutator called inside a Batch (which already holds it) re-enters.
-  mutable std::recursive_mutex mu_;
+  mutable util::RecursiveMutex mu_;
   // Working tables, guarded by mu_. Snapshots are copied from these.
-  std::vector<Member> members_;
-  std::vector<Group> groups_;
-  bool members_dirty_ = false;
-  bool groups_dirty_ = false;
-  int batch_depth_ = 0;
+  std::vector<Member> members_ DMPS_GUARDED_BY(mu_);
+  std::vector<Group> groups_ DMPS_GUARDED_BY(mu_);
+  bool members_dirty_ DMPS_GUARDED_BY(mu_) = false;
+  bool groups_dirty_ DMPS_GUARDED_BY(mu_) = false;
+  int batch_depth_ DMPS_GUARDED_BY(mu_) = 0;
 
-  // The published snapshot; accessed via std::atomic_load / atomic_store.
+  // The published snapshot. Deliberately NOT guarded_by(mu_): readers load
+  // it lock-free via std::atomic_load (snapshot()); only the publish path,
+  // which holds mu_, stores it. The atomic free functions are the
+  // synchronization, not the mutex, so the analysis has nothing to check.
   std::shared_ptr<const GroupSnapshot> published_;
   std::atomic<std::uint64_t> epoch_{0};
 };

@@ -58,12 +58,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "clock/drift_clock.hpp"
+#include "util/sync.hpp"
 #include "floor/service.hpp"
 #include "util/mpsc_mailbox.hpp"
 #include "util/small_vec.hpp"
@@ -240,12 +240,14 @@ class ParallelShardedFloorService {
   };
 
   /// Merges the per-shard results of a fanned-out release/cancel; the
-  /// completion runs when the last shard reports in.
+  /// completion runs when the last shard reports in. The last decrement
+  /// moves `merged` and `done` out under mu and invokes the callback after
+  /// unlocking — no guarded member is ever read outside the lock.
   struct FanOut {
-    std::mutex mu;
-    ReleaseResult merged;
-    std::size_t remaining = 0;
-    ReleaseCallback done;
+    util::Mutex mu;
+    ReleaseResult merged DMPS_GUARDED_BY(mu);
+    std::size_t remaining DMPS_GUARDED_BY(mu) = 0;
+    ReleaseCallback done DMPS_GUARDED_BY(mu);
   };
 
   /// Shared state of one batched submission. Producers pre-size the result
@@ -287,9 +289,9 @@ class ParallelShardedFloorService {
   /// emptied entries are kept so a returning holder reuses the hash node.
   using RouteList = util::SmallVec<HostId, 2>;
   struct RouteStripe {
-    std::mutex mu;
+    util::Mutex mu;
     // holder (member, group) -> shards holding its grants or parked state.
-    std::unordered_map<std::uint64_t, RouteList> routes;
+    std::unordered_map<std::uint64_t, RouteList> routes DMPS_GUARDED_BY(mu);
   };
 
   void worker_main(std::size_t index);
@@ -320,20 +322,34 @@ class ParallelShardedFloorService {
   resource::Thresholds thresholds_;
   Options options_;
   obs::FloorInstruments* obs_;  // resolved from Options at construction
+  // shards_ / shard_index_ / workers_ are setup-then-immutable: populated
+  // before the release-store of running_ (start()), read-only afterwards —
+  // producers order their reads through the running() acquire-load, not a
+  // lock, so these stay deliberately unguarded.
   std::vector<std::unique_ptr<Shard>> shards_;  // registration order
   std::unordered_map<HostId::value_type, std::size_t> shard_index_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::array<RouteStripe, kRouteStripes> routes_;
   std::atomic<bool> running_{false};
+  /// Serializes the lifecycle transitions. start()/stop() from two threads
+  /// (an explicit stop racing the destructor's, say) used to both pass the
+  /// running() check and join the same std::threads — UB. Both now hold
+  /// this mutex end to end; join() is guarded by joinable(), so the loser
+  /// of the race finds already-joined threads and does nothing.
+  util::Mutex lifecycle_mu_;
   /// Batch-buffer arena: input and result vectors cycle producer -> worker
   /// -> arena -> producer, so a pipelined batch stream reuses a handful of
   /// buffers instead of allocating per batch. Guarded by one mutex — taken
   /// once per batch, amortized across its ops.
-  std::mutex arena_mu_;
-  std::vector<std::vector<FloorRequest>> request_arena_;
-  std::vector<std::vector<HostRelease>> release_arena_;
-  std::vector<std::vector<Decision>> decision_arena_;
-  std::vector<std::vector<ReleaseResult>> result_arena_;
+  util::Mutex arena_mu_;
+  std::vector<std::vector<FloorRequest>> request_arena_
+      DMPS_GUARDED_BY(arena_mu_);
+  std::vector<std::vector<HostRelease>> release_arena_
+      DMPS_GUARDED_BY(arena_mu_);
+  std::vector<std::vector<Decision>> decision_arena_
+      DMPS_GUARDED_BY(arena_mu_);
+  std::vector<std::vector<ReleaseResult>> result_arena_
+      DMPS_GUARDED_BY(arena_mu_);
 };
 
 }  // namespace dmps::floorctl

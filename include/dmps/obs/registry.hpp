@@ -27,11 +27,11 @@
 #include <deque>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "obs/metrics.hpp"
 
 namespace dmps::obs {
@@ -86,12 +86,16 @@ class MetricsRegistry {
     std::function<std::int64_t()> fn;
   };
 
-  mutable std::mutex mu_;
-  bool frozen_ = false;
-  std::deque<NamedCounter> counters_;
-  std::deque<NamedGauge> gauges_;
-  std::deque<NamedHistogram> histograms_;
-  std::vector<CallbackGauge> callbacks_;
+  // Registration/lookup lock. The instruments themselves are atomics the
+  // hot path hits without this mutex; mu_ only guards the name tables.
+  // The deques hand out stable references, so a reference obtained under
+  // mu_ stays valid lock-free afterwards.
+  mutable util::Mutex mu_;
+  bool frozen_ DMPS_GUARDED_BY(mu_) = false;
+  std::deque<NamedCounter> counters_ DMPS_GUARDED_BY(mu_);
+  std::deque<NamedGauge> gauges_ DMPS_GUARDED_BY(mu_);
+  std::deque<NamedHistogram> histograms_ DMPS_GUARDED_BY(mu_);
+  std::vector<CallbackGauge> callbacks_ DMPS_GUARDED_BY(mu_);
 };
 
 /// The floor-control layer's instruments (FloorService and both sharded

@@ -36,6 +36,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/sync.hpp"
+
 namespace dmps::obs {
 
 enum class Ev : std::uint8_t {
@@ -149,16 +151,24 @@ class Tracer {
   /// Timestamp source in microseconds (sim-time lambda for sessions).
   /// Unset: events carry ts 0 — fingerprints never read timestamps anyway.
   void set_time_source(std::function<std::int64_t()> now_us) {
+    writer_.assert_held();
     now_ = std::move(now_us);
   }
   /// AND-mask applied to actor ids before recording — coarsens the
   /// per-station key space when a scenario has more actors than it wants
   /// fingerprint table entries (the million sweep buckets by low bits).
-  void set_actor_mask(std::uint32_t mask) { actor_mask_ = mask; }
-  void reserve_actors(std::size_t n) { fp_.reserve(n); }
+  void set_actor_mask(std::uint32_t mask) {
+    writer_.assert_held();
+    actor_mask_ = mask;
+  }
+  void reserve_actors(std::size_t n) {
+    writer_.assert_held();
+    fp_.reserve(n);
+  }
 
   void emit(Ev kind, std::uint32_t actor, std::uint32_t shard,
             std::uint8_t arg = 0, std::int64_t value = 0) {
+    writer_.assert_held();
     TraceEvent ev;
     ev.ts_us = now_ ? now_() : 0;
     ev.value = value;
@@ -170,22 +180,39 @@ class Tracer {
     if ((kFingerprintMask >> static_cast<unsigned>(kind)) & 1u) fp_.fold(ev);
   }
 
-  const TraceRing& ring() const { return ring_; }
-  std::uint64_t dropped() const { return ring_.dropped(); }
+  const TraceRing& ring() const {
+    writer_.assert_held();
+    return ring_;
+  }
+  std::uint64_t dropped() const {
+    writer_.assert_held();
+    return ring_.dropped();
+  }
   std::uint64_t fingerprint() const;
   void collect_fingerprint(
       std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
+    writer_.assert_held();
     fp_.collect(out);
   }
   /// Chrome trace-event JSON of this tracer's retained ring.
   void write_chrome_trace(std::ostream& out) const;
   void clear();
 
+  /// The single-writer affinity capability (DESIGN.md §10). Every entry
+  /// point asserts it, so the "one ring, one thread" comment up top is a
+  /// -Wthread-safety-checked contract: a second code path reaching ring_
+  /// or fp_ without going through an asserting entry point is a build
+  /// break. The role ships unbound (the runtime check is inert) because
+  /// ownership legitimately migrates — workers emit, then the hub merges
+  /// after join; binding is available for components that never hand off.
+  util::ThreadRole& writer_role() const { return writer_; }
+
  private:
-  TraceRing ring_;
-  FingerprintAccumulator fp_;
-  std::function<std::int64_t()> now_;
-  std::uint32_t actor_mask_ = ~0u;
+  mutable util::ThreadRole writer_;
+  TraceRing ring_ DMPS_GUARDED_BY(writer_);
+  FingerprintAccumulator fp_ DMPS_GUARDED_BY(writer_);
+  std::function<std::int64_t()> now_ DMPS_GUARDED_BY(writer_);
+  std::uint32_t actor_mask_ DMPS_GUARDED_BY(writer_) = ~0u;
 };
 
 class TraceHub {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "clock/drift_clock.hpp"
+#include "util/sync.hpp"
 #include "obs/registry.hpp"
 #include "transport/endpoint.hpp"
 #include "transport/frame.hpp"
@@ -48,7 +49,18 @@ class UdpLoop {
   UdpLoop(const UdpLoop&) = delete;
   UdpLoop& operator=(const UdpLoop&) = delete;
 
-  /// Nanoseconds of steady time since this loop was constructed.
+  /// The single-threaded-loop contract as a checkable capability
+  /// (DESIGN.md §10): every mutating entry point asserts this role, so the
+  /// timer wheel, fd table and stop flag are unreachable without it —
+  /// "one thread drives the loop" is a -Wthread-safety build break to
+  /// violate, not a comment. A loop thread may bind_to_current_thread()
+  /// to add a debug-build runtime check; unbound, the asserts are free.
+  /// Endpoints on this loop guard their own state with the same role.
+  util::ThreadRole on_loop;
+
+  /// Nanoseconds of steady time since this loop was constructed. The one
+  /// member safe off-loop: it reads only the construction-time epoch
+  /// (LoopClock hands it to arbitration as wall time).
   util::TimePoint now() const;
 
   /// Watch `fd` for readability; `on_readable` fires from poll(). False if
@@ -64,19 +76,32 @@ class UdpLoop {
   /// poll() until stop() or `keep_going` says done.
   void run_while(const std::function<bool()>& keep_going);
 
-  void stop() { stopped_ = true; }
-  bool stopped() const { return stopped_; }
+  void stop() {
+    on_loop.assert_held();
+    stopped_ = true;
+  }
+  bool stopped() const {
+    on_loop.assert_held();
+    return stopped_;
+  }
   /// Re-arm after a stop() (loadgen reuses its loop for the drain phase).
-  void resume() { stopped_ = false; }
+  void resume() {
+    on_loop.assert_held();
+    stopped_ = false;
+  }
 
-  TimerWheel& wheel() { return wheel_; }
+  TimerWheel& wheel() {
+    on_loop.assert_held();
+    return wheel_;
+  }
 
  private:
-  int epoll_fd_ = -1;
-  std::int64_t epoch_ns_ = 0;
-  TimerWheel wheel_;
-  std::unordered_map<int, std::function<void()>> fd_handlers_;
-  bool stopped_ = false;
+  int epoll_fd_ = -1;      // set in the ctor, const after
+  std::int64_t epoch_ns_ = 0;  // set in the ctor, const after
+  TimerWheel wheel_ DMPS_GUARDED_BY(on_loop);
+  std::unordered_map<int, std::function<void()>> fd_handlers_
+      DMPS_GUARDED_BY(on_loop);
+  bool stopped_ DMPS_GUARDED_BY(on_loop) = false;
 };
 
 /// The loop's timeline as a clk::Clock, so arbitration (FloorService grant
@@ -107,6 +132,7 @@ class UdpEndpoint final : public Endpoint {
   /// Drop outbound datagrams the filter rejects — after counting them as
   /// transmitted, so retransmit arithmetic matches a real lossy wire.
   void set_send_filter(std::function<bool(net::NodeId, net::MsgType)> filter) {
+    loop_.on_loop.assert_held();
     send_filter_ = std::move(filter);
   }
 
@@ -119,9 +145,13 @@ class UdpEndpoint final : public Endpoint {
   util::TimePoint now() const override { return loop_.now(); }
 
  private:
-  void drain_socket();
-  net::NodeId intern_peer(std::uint32_t ip_be, std::uint16_t port_be);
+  void drain_socket() DMPS_REQUIRES(loop_.on_loop);
+  net::NodeId intern_peer(std::uint32_t ip_be, std::uint16_t port_be)
+      DMPS_REQUIRES(loop_.on_loop);
 
+  // Endpoint state shares the loop's affinity role: handlers, the peer
+  // table and the send filter are only ever touched by the thread driving
+  // the loop, and each public entry point asserts it.
   UdpLoop& loop_;
   WireSchema schema_;
   std::unordered_map<net::MsgType::value_type, std::uint8_t> wire_ids_;
@@ -132,11 +162,16 @@ class UdpEndpoint final : public Endpoint {
     std::uint32_t ip_be = 0;    // network byte order
     std::uint16_t port_be = 0;  // network byte order
   };
-  std::vector<Peer> peers_;  // NodeId value = index
-  std::unordered_map<std::uint64_t, std::uint32_t> peer_ids_;  // addr key -> index
+  // NodeId value = index
+  std::vector<Peer> peers_ DMPS_GUARDED_BY(loop_.on_loop);
+  // addr key -> index
+  std::unordered_map<std::uint64_t, std::uint32_t> peer_ids_
+      DMPS_GUARDED_BY(loop_.on_loop);
 
-  std::vector<Handler> handlers_;  // by interned MsgType value
-  std::function<bool(net::NodeId, net::MsgType)> send_filter_;
+  // by interned MsgType value
+  std::vector<Handler> handlers_ DMPS_GUARDED_BY(loop_.on_loop);
+  std::function<bool(net::NodeId, net::MsgType)> send_filter_
+      DMPS_GUARDED_BY(loop_.on_loop);
   obs::WireInstruments* wire_;
 };
 

@@ -40,13 +40,15 @@
 // Plain mutex + condition variables, deliberately: the floor shards behind
 // this mailbox do microseconds of work per message, so a lock-free ring
 // would buy nothing measurable and cost ThreadSanitizer its visibility.
+// The mutex is a util::Mutex and every mutable field is GUARDED_BY it, so
+// the clang CI leg proves the discipline at compile time (DESIGN.md §10).
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace dmps::util {
 
@@ -63,8 +65,8 @@ class MpscMailbox {
   /// once the mailbox is closed — `item` is then left untouched, so the
   /// caller can still complete or refuse it instead of losing it.
   bool push(T&& item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || count_ < capacity_; });
+    MutexLock lock(mu_);
+    while (!closed_ && count_ >= capacity_) not_full_.wait(mu_, lock);
     if (closed_) return false;
     slot(count_) = std::move(item);
     ++count_;
@@ -77,7 +79,7 @@ class MpscMailbox {
   /// Producer: enqueue only if there is room right now (same no-move-on-
   /// failure guarantee as push).
   bool try_push(T&& item) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_ || count_ >= capacity_) return false;
     slot(count_) = std::move(item);
     ++count_;
@@ -91,9 +93,9 @@ class MpscMailbox {
   /// is left untouched so the caller can refuse each one individually.
   std::size_t push_all(T* items, std::size_t count) {
     std::size_t accepted = 0;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (accepted < count) {
-      not_full_.wait(lock, [&] { return closed_ || count_ < capacity_; });
+      while (!closed_ && count_ >= capacity_) not_full_.wait(mu_, lock);
       if (closed_) break;
       const bool was_empty = (count_ == 0);
       while (accepted < count && count_ < capacity_) {
@@ -109,8 +111,8 @@ class MpscMailbox {
   /// Consumer: dequeue the oldest item, blocking while empty. Returns
   /// nullopt once the mailbox is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || count_ > 0; });
+    MutexLock lock(mu_);
+    while (!closed_ && count_ == 0) not_empty_.wait(mu_, lock);
     if (count_ == 0) return std::nullopt;
     std::optional<T> item(std::move(ring_[head_]));
     head_ = (head_ + 1) % capacity_;
@@ -126,8 +128,8 @@ class MpscMailbox {
   /// until mark_done(n) — reserve `out` to capacity() once and the drain
   /// itself never allocates.
   std::size_t pop_all(std::vector<T>& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || count_ > 0; });
+    MutexLock lock(mu_);
+    while (!closed_ && count_ == 0) not_empty_.wait(mu_, lock);
     const std::size_t n = count_;
     for (std::size_t i = 0; i < n; ++i) {
       out.push_back(std::move(ring_[head_]));
@@ -143,7 +145,7 @@ class MpscMailbox {
 
   /// Consumer: n previously dequeued items are fully processed.
   void mark_done(std::size_t n = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     in_flight_ -= n;
     if (in_flight_ == 0 && count_ == 0) idle_.notify_all();
   }
@@ -151,13 +153,13 @@ class MpscMailbox {
   /// Block until the queue is empty and no dequeued item is still being
   /// processed. Only meaningful once producers have stopped pushing.
   void wait_idle() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [&] { return count_ == 0 && in_flight_ == 0; });
+    MutexLock lock(mu_);
+    while (count_ != 0 || in_flight_ != 0) idle_.wait(mu_, lock);
   }
 
   /// Reject producers from now on; the consumer drains what was accepted.
   void close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
@@ -165,28 +167,30 @@ class MpscMailbox {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return count_;
   }
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
  private:
   /// The ring slot `logical` positions past the oldest item.
-  T& slot(std::size_t logical) { return ring_[(head_ + logical) % capacity_]; }
+  T& slot(std::size_t logical) DMPS_REQUIRES(mu_) {
+    return ring_[(head_ + logical) % capacity_];
+  }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::condition_variable idle_;
-  std::vector<T> ring_;     // preallocated; moved-from slots are reused
-  std::size_t head_ = 0;    // oldest item
-  std::size_t count_ = 0;   // queued items
-  std::size_t in_flight_ = 0;  // dequeued but not yet mark_done()'d
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  CondVar idle_;
+  std::vector<T> ring_ DMPS_GUARDED_BY(mu_);  // preallocated ring storage
+  std::size_t head_ DMPS_GUARDED_BY(mu_) = 0;  // oldest item
+  std::size_t count_ DMPS_GUARDED_BY(mu_) = 0;  // queued items
+  std::size_t in_flight_ DMPS_GUARDED_BY(mu_) = 0;  // popped, not mark_done'd
+  bool closed_ DMPS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dmps::util

@@ -43,6 +43,9 @@ std::optional<GrantStore::HostView> GrantStore::view(HostId host) {
   return HostView(*this, it->second, host);
 }
 
+// dmps-lint: hot-begin(grant-store-mutate) — every grant mutation path
+// below runs inside the worker drain's alloc-probe bracket: slot reuse,
+// kept-empty index nodes and pooled map nodes keep it off the heap.
 std::size_t GrantStore::alloc_slot(Grant grant) {
   if (!free_slots_.empty()) {
     const std::size_t idx = free_slots_.back();
@@ -150,6 +153,9 @@ void GrantStore::HostView::commit_grant(MemberId member, GroupId group,
       store_->alloc_slot(Grant{member, group, host_, need, priority, seq,
                                store_->clock_.now(), false, false});
   state_->active.emplace(IndexKey{priority, seq}, idx);
+  // A holder's first grant inserts its index node; release_holder() keeps
+  // the emptied entry, so the steady request/release cycle reuses it.
+  // dmps-lint: allow-next(hot-unordered-map)
   store_->holder_index_[holder_key(member, group)].push_back(
       static_cast<std::uint32_t>(idx));
   ++store_->active_count_;
@@ -181,5 +187,6 @@ void GrantStore::HostView::resume_suspended(std::vector<Holder>& resumed) {
     ++store_->active_count_;
   }
 }
+// dmps-lint: hot-end
 
 }  // namespace dmps::floorctl

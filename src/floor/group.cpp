@@ -33,7 +33,7 @@ bool GroupSnapshot::in_group(MemberId member, GroupId group) const {
 }
 
 GroupRegistry::GroupRegistry() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   publish_locked();  // published_ is never null
 }
 
@@ -70,7 +70,7 @@ std::shared_ptr<const GroupSnapshot> GroupRegistry::snapshot() const {
 }
 
 MemberId GroupRegistry::add_member(std::string name, int priority, HostId host) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   members_.push_back(Member{std::move(name), priority, host});
   members_dirty_ = true;
   const MemberId id(static_cast<MemberId::value_type>(members_.size() - 1));
@@ -80,7 +80,7 @@ MemberId GroupRegistry::add_member(std::string name, int priority, HostId host) 
 
 GroupId GroupRegistry::create_group(std::string name, FcmMode mode,
                                     MemberId chair, PolicyKind policy) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   if (chair.value() >= members_.size()) {
     throw std::invalid_argument("create_group: chair is not a registered member");
   }
@@ -92,7 +92,7 @@ GroupId GroupRegistry::create_group(std::string name, FcmMode mode,
 }
 
 bool GroupRegistry::join(MemberId member, GroupId group) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   if (member.value() >= members_.size() || group.value() >= groups_.size()) {
     return false;
   }
@@ -108,7 +108,7 @@ bool GroupRegistry::join(MemberId member, GroupId group) {
 }
 
 bool GroupRegistry::leave(MemberId member, GroupId group) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   if (group.value() >= groups_.size()) return false;
   Group& g = groups_[group.value()];
   if (member == g.chair) return false;  // the chair anchors the group
@@ -123,7 +123,7 @@ bool GroupRegistry::leave(MemberId member, GroupId group) {
 }
 
 bool GroupRegistry::set_policy(GroupId group, PolicyKind policy) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   if (group.value() >= groups_.size()) return false;
   groups_[group.value()].policy = policy;
   groups_dirty_ = true;

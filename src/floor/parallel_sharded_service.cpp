@@ -56,7 +56,9 @@ std::size_t ParallelShardedFloorService::worker_count() const {
 
 void ParallelShardedFloorService::start() {
   // One-shot lifecycle: workers_ persists after stop() (see there), so a
-  // stopped service cannot be restarted.
+  // stopped service cannot be restarted. lifecycle_mu_ serializes this
+  // against a concurrent start()/stop() (see the member comment).
+  util::MutexLock lifecycle(lifecycle_mu_);
   if (running() || shards_.empty() || !workers_.empty()) return;
   const std::size_t workers = worker_count();
   workers_.reserve(workers);
@@ -76,7 +78,7 @@ void ParallelShardedFloorService::start() {
   // arenas here keeps even a deep pipelined backlog from growing them
   // inside a worker's hot loop.
   {
-    std::lock_guard<std::mutex> lock(arena_mu_);
+    util::MutexLock lock(arena_mu_);
     constexpr std::size_t kArenaDepth = 64;
     request_arena_.reserve(kArenaDepth);
     release_arena_.reserve(kArenaDepth);
@@ -94,6 +96,12 @@ void ParallelShardedFloorService::drain() {
 }
 
 void ParallelShardedFloorService::stop() {
+  // Two stops may race (an explicit stop against the destructor's, or two
+  // owners shutting down); without this lock both passed the running()
+  // check and called join() on the same std::threads — undefined behavior.
+  // Serialized, the second stop finds joined (non-joinable) threads and
+  // closed mailboxes, both of which are no-ops.
+  util::MutexLock lifecycle(lifecycle_mu_);
   if (!running()) return;
   for (auto& worker : workers_) worker->mailbox.close();
   for (auto& worker : workers_) {
@@ -106,6 +114,10 @@ void ParallelShardedFloorService::stop() {
   running_.store(false, std::memory_order_release);
 }
 
+// dmps-lint: hot-begin(worker-drain) — the worker drain loop and the
+// execute() run it brackets with the alloc probe: steady-state batched
+// arbitration must stay free of heap allocation, std::function
+// construction and hash-map rehash (DESIGN.md §10).
 void ParallelShardedFloorService::worker_main(std::size_t index) {
   Worker& worker = *workers_[index];
   // The whole backlog is drained per wakeup: one lock episode and one
@@ -136,6 +148,7 @@ void ParallelShardedFloorService::worker_main(std::size_t index) {
     backlog.clear();
   }
 }
+// dmps-lint: hot-end
 
 std::uint64_t ParallelShardedFloorService::hot_loop_allocations() const {
   std::uint64_t total = 0;
@@ -172,11 +185,16 @@ bool ParallelShardedFloorService::has_host(HostId host) const {
   return shard_index_.find(host.value()) != shard_index_.end();
 }
 
+// dmps-lint: hot-begin(route-map) — called from execute() per accepted
+// request / released grant; the warm path reuses emptied hash nodes.
 void ParallelShardedFloorService::record_route(MemberId member, GroupId group,
                                                HostId host) {
   const std::uint64_t key = holder_key(member, group);
   RouteStripe& s = stripe(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
+  // First route for a holder inserts its node; every later record/drop
+  // cycle finds the kept-empty entry and stays off the heap.
+  // dmps-lint: allow-next(hot-unordered-map)
   auto& hosts = s.routes[key];
   if (std::find(hosts.begin(), hosts.end(), host) == hosts.end()) {
     hosts.push_back(host);
@@ -188,7 +206,7 @@ void ParallelShardedFloorService::drop_route(MemberId member, GroupId group,
                                              HostId host) {
   const std::uint64_t key = holder_key(member, group);
   RouteStripe& s = stripe(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   const auto it = s.routes.find(key);
   if (it == s.routes.end()) return;
   auto& hosts = it->second;
@@ -201,13 +219,14 @@ void ParallelShardedFloorService::drop_route(MemberId member, GroupId group,
   }
   while (hosts.size() > keep) hosts.pop_back();
 }
+// dmps-lint: hot-end
 
 HostList ParallelShardedFloorService::take_routes(MemberId member,
                                                   GroupId group) {
   const std::uint64_t key = holder_key(member, group);
   RouteStripe& s = stripe(key);
   HostList hosts;
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   const auto it = s.routes.find(key);
   if (it == s.routes.end()) return hosts;
   for (const HostId host : it->second) hosts.push_back(host);
@@ -220,7 +239,7 @@ HostList ParallelShardedFloorService::peek_routes(MemberId member,
   const std::uint64_t key = holder_key(member, group);
   RouteStripe& s = stripe(key);
   HostList hosts;
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   const auto it = s.routes.find(key);
   if (it == s.routes.end()) return hosts;
   for (const HostId host : it->second) hosts.push_back(host);
@@ -236,7 +255,9 @@ void ParallelShardedFloorService::enqueue(Op op) {
   if (running() && workers_[owner->worker]->mailbox.push(std::move(op))) {
     return;
   }
-  refuse(op);
+  // push() returning false guarantees `op` was not consumed (see
+  // MpscMailbox::push), so the moved-from read below is well-defined.
+  refuse(op);  // NOLINT(bugprone-use-after-move)
 }
 
 void ParallelShardedFloorService::refuse(Op& op) {
@@ -286,12 +307,19 @@ void ParallelShardedFloorService::complete(Op& op, ReleaseResult&& result) {
   if (op.fan != nullptr) {
     FanOut& fan = *op.fan;
     ReleaseCallback done;
+    ReleaseResult merged;
     {
-      std::lock_guard<std::mutex> lock(fan.mu);
+      util::MutexLock lock(fan.mu);
       merge_release_results(fan.merged, std::move(result));
-      if (--fan.remaining == 0) done = std::move(fan.done);
+      if (--fan.remaining != 0) return;
+      // Last shard: move the merged result out while still under mu. The
+      // old code read fan.merged after unlocking — runtime-safe only by
+      // the last-decrement argument, and exactly the kind of "safe by
+      // a proof in a comment" access -Wthread-safety exists to retire.
+      done = std::move(fan.done);
+      merged = std::move(fan.merged);
     }
-    if (done) done(fan.merged);
+    if (done) done(merged);
     return;
   }
   if (op.on_release) op.on_release(result);
@@ -304,7 +332,7 @@ void ParallelShardedFloorService::finish_request_bucket(RequestBatch& batch) {
   // visible to whoever runs the completion.
   if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
   if (batch.done) batch.done(batch.requests, batch.decisions);
-  std::lock_guard<std::mutex> lock(arena_mu_);
+  util::MutexLock lock(arena_mu_);
   // The input vector is cleared (trivial element dtors — producers refill
   // with push_back); the decision slots are parked ALIVE so the next batch
   // reuses them in place (resize + per-slot overwrite) instead of paying a
@@ -317,12 +345,14 @@ void ParallelShardedFloorService::finish_request_bucket(RequestBatch& batch) {
 void ParallelShardedFloorService::finish_release_bucket(ReleaseBatch& batch) {
   if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
   if (batch.done) batch.done(batch.releases, batch.results);
-  std::lock_guard<std::mutex> lock(arena_mu_);
+  util::MutexLock lock(arena_mu_);
   batch.releases.clear();  // result slots stay alive for in-place reuse
   release_arena_.push_back(std::move(batch.releases));
   result_arena_.push_back(std::move(batch.results));
 }
 
+// dmps-lint: hot-begin(shard-execute) — runs inside the alloc-probed
+// worker drain bracket for every op kind.
 void ParallelShardedFloorService::execute(Op& op) {
   Shard* owner = find_shard(op.host);
   switch (op.kind) {
@@ -384,6 +414,7 @@ void ParallelShardedFloorService::execute(Op& op) {
     }
   }
 }
+// dmps-lint: hot-end
 
 namespace {
 
@@ -422,7 +453,7 @@ std::future<Decision> ParallelShardedFloorService::request(
 }
 
 std::vector<FloorRequest> ParallelShardedFloorService::take_request_buffer() {
-  std::lock_guard<std::mutex> lock(arena_mu_);
+  util::MutexLock lock(arena_mu_);
   if (request_arena_.empty()) return {};
   std::vector<FloorRequest> buffer = std::move(request_arena_.back());
   request_arena_.pop_back();
@@ -430,7 +461,7 @@ std::vector<FloorRequest> ParallelShardedFloorService::take_request_buffer() {
 }
 
 std::vector<HostRelease> ParallelShardedFloorService::take_release_buffer() {
-  std::lock_guard<std::mutex> lock(arena_mu_);
+  util::MutexLock lock(arena_mu_);
   if (release_arena_.empty()) return {};
   std::vector<HostRelease> buffer = std::move(release_arena_.back());
   release_arena_.pop_back();
@@ -438,7 +469,7 @@ std::vector<HostRelease> ParallelShardedFloorService::take_release_buffer() {
 }
 
 std::vector<Decision> ParallelShardedFloorService::take_decision_buffer() {
-  std::lock_guard<std::mutex> lock(arena_mu_);
+  util::MutexLock lock(arena_mu_);
   if (decision_arena_.empty()) return {};
   std::vector<Decision> buffer = std::move(decision_arena_.back());
   decision_arena_.pop_back();
@@ -446,7 +477,7 @@ std::vector<Decision> ParallelShardedFloorService::take_decision_buffer() {
 }
 
 std::vector<ReleaseResult> ParallelShardedFloorService::take_result_buffer() {
-  std::lock_guard<std::mutex> lock(arena_mu_);
+  util::MutexLock lock(arena_mu_);
   if (result_arena_.empty()) return {};
   std::vector<ReleaseResult> buffer = std::move(result_arena_.back());
   result_arena_.pop_back();

@@ -18,7 +18,7 @@ void json_escape(std::ostream& out, std::string_view s) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (NamedCounter& c : counters_) {
     if (c.name == name) return c.instrument;
   }
@@ -32,7 +32,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (NamedGauge& g : gauges_) {
     if (g.name == name) return g.instrument;
   }
@@ -46,7 +46,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (NamedHistogram& h : histograms_) {
     if (h.name == name) return h.instrument;
   }
@@ -61,7 +61,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::gauge_callback(const std::string& name,
                                      std::function<std::int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (CallbackGauge& cb : callbacks_) {
     if (cb.name == name) {
       cb.fn = std::move(fn);
@@ -77,17 +77,17 @@ void MetricsRegistry::gauge_callback(const std::string& name,
 }
 
 void MetricsRegistry::freeze() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   frozen_ = true;
 }
 
 bool MetricsRegistry::frozen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return frozen_;
 }
 
 std::int64_t MetricsRegistry::value(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const NamedCounter& c : counters_) {
     if (c.name == name) return c.instrument.value();
   }
@@ -101,7 +101,7 @@ std::int64_t MetricsRegistry::value(std::string_view name) const {
 }
 
 void MetricsRegistry::write_json(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // Sorted names make the snapshot diffable run over run.
   std::vector<std::pair<std::string_view, std::int64_t>> scalars;
   scalars.reserve(counters_.size());
@@ -155,6 +155,8 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
+// dmps-lint: obs-register-begin — instrument packs resolve every name at
+// construction; nothing outside these regions may find-or-create.
 FloorInstruments::FloorInstruments(MetricsRegistry& registry)
     : requests(registry.counter("floor.requests")),
       granted(registry.counter("floor.granted")),
@@ -202,6 +204,7 @@ WireInstruments::WireInstruments(MetricsRegistry& registry)
       udp_drop_unknown_kind(registry.counter("wire.udp.drop_unknown_kind")),
       udp_drop_unhandled(registry.counter("wire.udp.drop_unhandled")),
       udp_send_failures(registry.counter("wire.udp.send_failures")) {}
+// dmps-lint: obs-register-end
 
 WireInstruments& WireInstruments::global() {
   static WireInstruments instruments(MetricsRegistry::global());

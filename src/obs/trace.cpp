@@ -165,9 +165,13 @@ std::uint64_t combine_fingerprint(
 
 Tracer::Tracer(std::size_t ring_capacity) : ring_(ring_capacity) {}
 
-std::uint64_t Tracer::fingerprint() const { return fp_.fingerprint(); }
+std::uint64_t Tracer::fingerprint() const {
+  writer_.assert_held();
+  return fp_.fingerprint();
+}
 
 void Tracer::clear() {
+  writer_.assert_held();
   ring_.clear();
   fp_.clear();
 }
@@ -190,6 +194,7 @@ void write_chrome_events(std::ostream& out, const TraceRing& ring,
 }  // namespace
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
+  writer_.assert_held();
   out << "{\"traceEvents\":[\n";
   bool first = true;
   write_chrome_events(out, ring_, first);

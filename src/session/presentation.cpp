@@ -66,6 +66,8 @@ Presentation::Presentation(SessionConfig config)
       registry_, server_clock_, config_.thresholds);
   arbitration_->set_observability(&floor_obs_, &tracer_);
   // Occupancy levels are pulled at snapshot time, not pushed per op.
+  // dmps-lint: obs-register-begin — session construction is the init
+  // region; everything registers before the scenario runs.
   metrics_.gauge_callback("floor.active_grants", [this] {
     return static_cast<std::int64_t>(arbitration_->active_grants());
   });
@@ -84,6 +86,7 @@ Presentation::Presentation(SessionConfig config)
   metrics_.gauge_callback("net.delivered", [this] {
     return static_cast<std::int64_t>(network_.delivered());
   });
+  // dmps-lint: obs-register-end
 
   // One host shard per endpoint; endpoint 0 shares the clock server's
   // station so a single-host session keeps the classic one-server topology.

@@ -46,6 +46,7 @@ util::TimePoint UdpLoop::now() const {
 }
 
 bool UdpLoop::add_fd(int fd, std::function<void()> on_readable) {
+  on_loop.assert_held();
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
@@ -55,11 +56,13 @@ bool UdpLoop::add_fd(int fd, std::function<void()> on_readable) {
 }
 
 void UdpLoop::remove_fd(int fd) {
+  on_loop.assert_held();
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   fd_handlers_.erase(fd);
 }
 
 void UdpLoop::poll(util::Duration max_wait) {
+  on_loop.assert_held();
   // Armed timers bound the wait to one wheel tick so a deadline is never
   // late by more than the tick resolution.
   std::int64_t wait_ms = max_wait.raw_nanos() / 1'000'000;
@@ -79,6 +82,7 @@ void UdpLoop::poll(util::Duration max_wait) {
 }
 
 void UdpLoop::run_while(const std::function<bool()>& keep_going) {
+  on_loop.assert_held();
   while (!stopped_ && keep_going()) poll();
 }
 
@@ -107,7 +111,12 @@ UdpEndpoint::UdpEndpoint(UdpLoop& loop, WireSchema schema, std::uint16_t port,
   if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     local_port_ = ntohs(addr.sin_port);
   }
-  if (!loop_.add_fd(fd_, [this] { drain_socket(); })) {
+  // The readiness callback fires from poll(), i.e. on the loop thread by
+  // construction — the assert states that for the analysis.
+  if (!loop_.add_fd(fd_, [this] {
+        loop_.on_loop.assert_held();
+        drain_socket();
+      })) {
     close(fd_);
     throw std::runtime_error("epoll add failed for udp socket");
   }
@@ -118,17 +127,24 @@ UdpEndpoint::~UdpEndpoint() {
   close(fd_);
 }
 
+// dmps-lint: hot-begin(udp-peer-intern) — runs per datagram from
+// drain_socket; the warm path is one hash lookup, no mutation.
 net::NodeId UdpEndpoint::intern_peer(std::uint32_t ip_be, std::uint16_t port_be) {
   const std::uint64_t key = addr_key(ip_be, port_be);
   const auto it = peer_ids_.find(key);
   if (it != peer_ids_.end()) return net::NodeId{it->second};
   const auto index = static_cast<std::uint32_t>(peers_.size());
   peers_.push_back(Peer{ip_be, port_be});
+  // First datagram from an address mints its NodeId — once per peer, so
+  // the insert is cold by construction.
+  // dmps-lint: allow-next(hot-unordered-map)
   peer_ids_.emplace(key, index);
   return net::NodeId{index};
 }
+// dmps-lint: hot-end
 
 net::NodeId UdpEndpoint::add_peer(const std::string& ipv4, std::uint16_t port) {
+  loop_.on_loop.assert_held();
   in_addr parsed{};
   if (inet_pton(AF_INET, ipv4.c_str(), &parsed) != 1) {
     throw std::runtime_error("bad peer address: " + ipv4);
@@ -137,6 +153,7 @@ net::NodeId UdpEndpoint::add_peer(const std::string& ipv4, std::uint16_t port) {
 }
 
 bool UdpEndpoint::on(net::MsgType type, Handler handler) {
+  loop_.on_loop.assert_held();
   const std::size_t index = type.value();
   if (index >= handlers_.size()) handlers_.resize(index + 1);
   if (handlers_[index]) return false;
@@ -145,11 +162,13 @@ bool UdpEndpoint::on(net::MsgType type, Handler handler) {
 }
 
 void UdpEndpoint::off(net::MsgType type) {
+  loop_.on_loop.assert_held();
   const std::size_t index = type.value();
   if (index < handlers_.size()) handlers_[index] = nullptr;
 }
 
 void UdpEndpoint::send(net::NodeId to, net::MsgType type, net::Payload ints) {
+  loop_.on_loop.assert_held();
   const auto wire_id = wire_ids_.find(type.value());
   if (wire_id == wire_ids_.end() || !to.valid() ||
       to.value() >= peers_.size()) {
@@ -185,6 +204,8 @@ transport::TimerId UdpEndpoint::schedule_in(util::Duration delay,
 
 bool UdpEndpoint::cancel(TimerId id) { return loop_.wheel().cancel(id); }
 
+// dmps-lint: hot-begin(udp-rx) — the per-datagram receive path; decode,
+// route and dispatch must stay allocation- and rehash-free.
 void UdpEndpoint::drain_socket() {
   // Level-triggered epoll still drains to EAGAIN: one wakeup, all queued
   // datagrams, so a request burst can't starve the timer wheel behind
@@ -232,6 +253,7 @@ void UdpEndpoint::drain_socket() {
     handlers_[index](msg);
   }
 }
+// dmps-lint: hot-end
 
 }  // namespace dmps::transport
 

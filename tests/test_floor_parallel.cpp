@@ -541,4 +541,57 @@ TEST_F(ParallelFixture, FewerWorkersThanShardsFoldsCorrectly) {
   EXPECT_EQ(folded.active_grants(), 0u);
 }
 
+// Regression (DESIGN.md §10): stop() used to join worker threads without
+// serializing against a concurrent stop() — two threads shutting the
+// service down raced into double-join UB. The lifecycle mutex makes the
+// loser a no-op; under the TSan CI job this test is the proof.
+TEST_F(ParallelFixture, ConcurrentStopFromManyThreadsIsSafe) {
+  const auto m = add_joined("m", 1, hosts[0]);
+  service.start();
+  ASSERT_EQ(service.request(make_request(group, m, hosts[0], 0.4)).get().outcome,
+            Outcome::kGranted);
+
+  constexpr int kStoppers = 4;
+  std::atomic<int> go{0};
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(kStoppers);
+  for (int i = 0; i < kStoppers; ++i) {
+    stoppers.emplace_back([&] {
+      go.fetch_add(1);
+      while (go.load() < kStoppers) {
+      }  // all stoppers release together
+      service.stop();
+    });
+  }
+  for (auto& t : stoppers) t.join();
+  EXPECT_FALSE(service.running());
+  // The service is cleanly stopped, not wedged: new ops are refused.
+  EXPECT_EQ(service.request(make_request(group, m, hosts[0], 0.2)).get().outcome,
+            Outcome::kDenied);
+}
+
+// Regression (DESIGN.md §10): complete() used to read the fan-out's merged
+// ReleaseResult after dropping its mutex, racing the final shard's merge.
+// Hammer multi-shard releases — every release must observe a fully merged
+// result (released == true exactly when grants were held), with TSan
+// checking the handoff.
+TEST_F(ParallelFixture, CrossShardReleaseMergeIsCompleteUnderRepetition) {
+  const auto m = add_joined("m", 1, hosts[0]);
+  service.start();
+
+  for (int iter = 0; iter < 50; ++iter) {
+    for (int h = 0; h < kHosts; ++h) {
+      ASSERT_EQ(
+          service.request(make_request(group, m, hosts[h], 0.3)).get().outcome,
+          Outcome::kGranted);
+    }
+    auto released = service.release(m, group).get();
+    EXPECT_TRUE(released.released) << "iteration " << iter;
+    auto again = service.release(m, group).get();
+    EXPECT_FALSE(again.released) << "iteration " << iter;
+  }
+  service.drain();
+  EXPECT_EQ(service.active_grants(), 0u);
+}
+
 }  // namespace

@@ -345,4 +345,44 @@ TEST(MpscMailbox, BulkProducersKeepPerProducerOrderThroughPopAll) {
   }
 }
 
+// The documented happens-before edge of wait_idle(): everything the
+// consumer wrote while processing (here: plain, unsynchronized ints)
+// must be readable after wait_idle() returns, because the wait and the
+// consumer's mark_done() go through the same mutex. TSan turns any hole
+// in that edge into a CI failure; this is the regression pin for the
+// mailbox's annotated-lock rewrite (DESIGN.md §10).
+TEST(MpscMailbox, WaitIdleHappensAfterConsumerWrites) {
+  constexpr int kItems = 2000;
+  MpscMailbox<int> box(32);
+
+  // Deliberately NOT atomic: only the wait_idle() edge orders these.
+  std::vector<int> processed;
+  long long sum = 0;
+  std::thread consumer([&] {
+    std::vector<int> buffer;
+    buffer.reserve(box.capacity());
+    while (true) {
+      buffer.clear();
+      const std::size_t n = box.pop_all(buffer);
+      if (n == 0) break;
+      for (int v : buffer) {
+        processed.push_back(v);
+        sum += v;
+      }
+      box.mark_done(n);
+    }
+  });
+
+  for (int i = 1; i <= kItems; ++i) {
+    ASSERT_TRUE(box.push(int{i}));
+  }
+  box.wait_idle();
+  // Consumer-owned state, read without any other synchronization.
+  EXPECT_EQ(processed.size(), static_cast<std::size_t>(kItems));
+  EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems + 1) / 2);
+
+  box.close();
+  consumer.join();
+}
+
 }  // namespace

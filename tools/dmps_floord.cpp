@@ -74,8 +74,10 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
 
   obs::MetricsRegistry metrics;
+  // dmps-lint: obs-register-begin — daemon startup, before the loop runs.
   obs::WireInstruments wire(metrics);
   obs::FloorInstruments floor(metrics);
+  // dmps-lint: obs-register-end
 
   transport::UdpLoop loop;
   transport::LoopClock clock(loop);
@@ -140,7 +142,7 @@ int main(int argc, char** argv) {
     while (read(signal_fd, &info, sizeof(info)) == sizeof(info)) {
       if (info.ssi_signo == SIGUSR1) {
         metrics.write_json(std::cout);
-        std::cout << std::endl;
+        std::cout << '\n' << std::flush;  // the dump must reach its reader now
       } else {
         loop.stop();
       }
@@ -170,7 +172,7 @@ int main(int argc, char** argv) {
     service.sweep(floorctl::HostId{static_cast<std::uint32_t>(1 + h)});
   }
   metrics.write_json(std::cout);
-  std::cout << std::endl;
+  std::cout << '\n' << std::flush;  // the dump must reach its reader now
   close(signal_fd);
   return 0;
 }

@@ -61,7 +61,10 @@ struct LoadRun {
   Options opt;
   transport::UdpLoop loop;
   obs::MetricsRegistry metrics;
+  // dmps-lint: obs-register-begin — pack built with the LoadRun, before
+  // any traffic flows.
   obs::WireInstruments wire{metrics};
+  // dmps-lint: obs-register-end
   std::vector<std::unique_ptr<Client>> clients;
   std::vector<std::int64_t> grant_latency_us;
   bool draining = false;
