@@ -310,6 +310,85 @@ def check_wire_schema(root, violations, config_errors):
                 f"wire_type() names MsgKind::{stray} which the enum does "
                 "not declare"))
 
+    # docs/WIRE.md publishes the kind table (wire id, type name, lane count)
+    # for third-party clients; cross-check it against the code so the doc
+    # cannot rot. Ground truth: enum order for ids, the to_string() switch
+    # for names, the codec's well_formed(msg, kind, N) guards for lanes.
+    names = dict(re.findall(
+        r'case MsgKind::(k\w+):\s*return\s*"([^"]+)"',
+        tostr_m.group(1))) if tostr_m else {}
+    lane_counts = {}
+    for kind, lanes in re.findall(
+            r"well_formed\(msg,\s*MsgKind::(k\w+),\s*(\d+)\)", impl_text):
+        lane_counts.setdefault(kind, int(lanes))
+    doc = root / "docs/WIRE.md"
+    try:
+        doc_text = doc.read_text()
+    except OSError:
+        violations.append(Violation(
+            Path("docs/WIRE.md"), 1, "wire-schema",
+            "docs/WIRE.md is missing — the wire protocol doc must exist and "
+            "carry the dmps-lint: wire-kind-table kind table"))
+        return
+    doc_rel = doc.relative_to(root)
+    marker = "dmps-lint: wire-kind-table"
+    if marker not in doc_text:
+        violations.append(Violation(
+            doc_rel, 1, "wire-schema",
+            f"no '{marker}' marker in docs/WIRE.md — the kind table must be "
+            "tagged so this check can find it"))
+        return
+    doc_rows = {}
+    in_table = False
+    for lineno, line in enumerate(doc_text.splitlines(), 1):
+        if marker in line:
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            if doc_rows:
+                break  # table ended
+            continue
+        cells = [c.strip() for c in stripped.strip("|").split("|")]
+        if len(cells) < 4 or not cells[0].isdigit():
+            continue  # header / separator row
+        doc_rows[cells[1]] = (int(cells[0]), cells[2].strip("`"),
+                              int(cells[3]), lineno)
+    for wire_id, kind in enumerate(kinds):
+        if kind not in doc_rows:
+            violations.append(Violation(
+                doc_rel, line_of(doc_text, marker), "wire-schema",
+                f"MsgKind::{kind} missing from the docs/WIRE.md kind table — "
+                "a third-party client reading the doc would not know the "
+                "kind exists"))
+            continue
+        doc_id, doc_name, doc_lanes, lineno = doc_rows[kind]
+        if doc_id != wire_id:
+            violations.append(Violation(
+                doc_rel, lineno, "wire-schema",
+                f"docs/WIRE.md gives {kind} wire id {doc_id} but the MsgKind "
+                f"enum order says {wire_id} — frames built from the doc "
+                "would carry the wrong kind byte"))
+        if kind in names and doc_name != names[kind]:
+            violations.append(Violation(
+                doc_rel, lineno, "wire-schema",
+                f"docs/WIRE.md names {kind} '{doc_name}' but to_string() "
+                f"says '{names[kind]}'"))
+        if kind in lane_counts and doc_lanes != lane_counts[kind]:
+            violations.append(Violation(
+                doc_rel, lineno, "wire-schema",
+                f"docs/WIRE.md gives {kind} {doc_lanes} lanes but the "
+                f"codec's well_formed guard requires {lane_counts[kind]} — "
+                "a client framing from the doc would be dropped as "
+                "malformed"))
+    for stray in sorted(set(doc_rows) - set(kinds)):
+        violations.append(Violation(
+            doc_rel, doc_rows[stray][3], "wire-schema",
+            f"docs/WIRE.md documents {stray} which the MsgKind enum does "
+            "not declare"))
+
 
 def strip_block(text):
     return "\n".join(strip_comments_and_strings(l) for l in text.splitlines())

@@ -48,6 +48,22 @@ net::MsgType wire_type(MsgKind kind) {
   };
   return types[static_cast<int>(kind)];
 }
+std::optional<JoinMsg> decode_join(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kJoin, 2)) return std::nullopt;
+  return JoinMsg{};
+}
+std::optional<GrantMsg> decode_grant(const net::Message& msg) {
+  if (!well_formed(msg, MsgKind::kGrant, 3)) return std::nullopt;
+  return GrantMsg{};
+}
+"""
+
+WIRE_MD = """# wire doc
+<!-- dmps-lint: wire-kind-table -->
+| id | kind   | type name  | lanes | direction |
+|---:|--------|------------|------:|-----------|
+|  0 | kJoin  | `fp.join`  |     2 | c->s      |
+|  1 | kGrant | `fp.grant` |     3 | s->c      |
 """
 
 TEST_TRANSPORT = """// round-trip test
@@ -75,6 +91,7 @@ def make_repo(root):
     write(root, "include/dmps/fproto/codec.hpp", CODEC_HPP)
     write(root, "src/fproto/codec.cpp", CODEC_CPP)
     write(root, "tests/test_transport.cpp", TEST_TRANSPORT)
+    write(root, "docs/WIRE.md", WIRE_MD)
 
 
 class LintCase(unittest.TestCase):
@@ -194,6 +211,58 @@ class WireSchema(LintCase):
         status, out, _ = self.run_lint(self.root, ["wire-schema"])
         self.assertEqual(status, 1)
         self.assertIn("kMsgKindCount = 3 but MsgKind declares 2", out)
+
+    def test_doc_wrong_lane_count_fails(self):
+        write(self.root, "docs/WIRE.md",
+              WIRE_MD.replace("| `fp.grant` |     3 |",
+                              "| `fp.grant` |     4 |"))
+        status, out, _ = self.run_lint(self.root, ["wire-schema"])
+        self.assertEqual(status, 1)
+        self.assertIn("kGrant 4 lanes but the codec's well_formed guard "
+                      "requires 3", out)
+
+    def test_doc_wrong_wire_id_fails(self):
+        write(self.root, "docs/WIRE.md",
+              WIRE_MD.replace("|  1 | kGrant", "|  2 | kGrant"))
+        status, out, _ = self.run_lint(self.root, ["wire-schema"])
+        self.assertEqual(status, 1)
+        self.assertIn("kGrant wire id 2 but the MsgKind enum order says 1",
+                      out)
+
+    def test_doc_wrong_type_name_fails(self):
+        write(self.root, "docs/WIRE.md",
+              WIRE_MD.replace("`fp.grant`", "`fp.award`"))
+        status, out, _ = self.run_lint(self.root, ["wire-schema"])
+        self.assertEqual(status, 1)
+        self.assertIn("names kGrant 'fp.award' but to_string() says "
+                      "'fp.grant'", out)
+
+    def test_doc_missing_kind_row_fails(self):
+        write(self.root, "docs/WIRE.md",
+              "\n".join(l for l in WIRE_MD.splitlines()
+                        if "kGrant" not in l) + "\n")
+        status, out, _ = self.run_lint(self.root, ["wire-schema"])
+        self.assertEqual(status, 1)
+        self.assertIn("MsgKind::kGrant missing from the docs/WIRE.md kind "
+                      "table", out)
+
+    def test_doc_stray_kind_row_fails(self):
+        write(self.root, "docs/WIRE.md",
+              WIRE_MD + "|  2 | kBogus | `fp.bogus` |     1 | c->s |\n")
+        status, out, _ = self.run_lint(self.root, ["wire-schema"])
+        self.assertEqual(status, 1)
+        self.assertIn("documents kBogus which the MsgKind enum does not "
+                      "declare", out)
+
+    def test_missing_doc_fails(self):
+        (self.root / "docs/WIRE.md").unlink()
+        status, out, _ = self.run_lint(self.root, ["wire-schema"])
+        self.assertEqual(status, 1)
+        self.assertIn("docs/WIRE.md is missing", out)
+
+    def test_matching_doc_passes(self):
+        status, out, err = self.run_lint(self.root, ["wire-schema"])
+        self.assertEqual(status, 0, msg=out + err)
 
 
 class HotRegions(LintCase):

@@ -45,7 +45,7 @@
 
 namespace dmps::floorctl {
 
-class FloorService {
+class FloorService : public FloorControl {
  public:
   FloorService(const GroupRegistry& registry, clk::Clock& clock,
                resource::Thresholds thresholds);
@@ -60,14 +60,15 @@ class FloorService {
   /// FCM-Arbitrate: decide one floor request under the group's discipline,
   /// resolved against the given snapshot.
   Decision request(const GroupSnapshot& snapshot, const FloorRequest& request);
-  /// Convenience: decide against the registry's latest snapshot.
-  Decision request(const FloorRequest& request);
+  /// Convenience: decide against the registry's latest snapshot (the
+  /// FloorControl entry point).
+  Decision request(const FloorRequest& request) override;
 
   /// Release every floor `member` holds in `group` and drop its parked
   /// requests, then sweep every host the release freed capacity on.
   ReleaseResult release(const GroupSnapshot& snapshot, MemberId member,
                         GroupId group);
-  ReleaseResult release(MemberId member, GroupId group);
+  ReleaseResult release(MemberId member, GroupId group) override;
 
   /// Drop the member's parked (queued) requests in `group` without
   /// touching grants it holds; dropped requests appear in `dequeued`.

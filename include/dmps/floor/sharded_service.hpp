@@ -30,7 +30,7 @@
 
 namespace dmps::floorctl {
 
-class ShardedFloorService {
+class ShardedFloorService : public FloorControl {
  public:
   ShardedFloorService(const GroupRegistry& registry, clk::Clock& clock,
                       resource::Thresholds thresholds);
@@ -49,7 +49,7 @@ class ShardedFloorService {
   }
 
   /// FCM-Arbitrate on the shard owning request.host.
-  Decision request(const FloorRequest& request);
+  Decision request(const FloorRequest& request) override;
 
   /// Batched FCM-Arbitrate: decide every request in input order, writing
   /// `decisions[i]` for `requests[i]` (the vector is cleared and re-sized,
@@ -61,7 +61,7 @@ class ShardedFloorService {
 
   /// Release everything `member` holds in `group` on every shard it was
   /// routed to, dropping parked requests there too.
-  ReleaseResult release(MemberId member, GroupId group);
+  ReleaseResult release(MemberId member, GroupId group) override;
 
   /// Shard-scoped release: drop what `member` holds in `group` on `host`
   /// only. The route entry keeps any other hosts.

@@ -115,6 +115,21 @@ struct ReleaseResult {
                                     // dropped without a grant
 };
 
+/// The narrow arbitration seam wire servers consume: decide one request,
+/// release one holding. FloorService (one resource manager) and
+/// ShardedFloorService (one per host station) both implement it, so an
+/// fproto::FloorServer can front either without knowing the topology —
+/// dmps_floord binds one server per shard endpoint over a single shared
+/// ShardedFloorService through exactly this interface.
+class FloorControl {
+ public:
+  virtual ~FloorControl() = default;
+  /// FCM-Arbitrate one request (routed by request.host when sharded).
+  virtual Decision request(const FloorRequest& request) = 0;
+  /// Release everything `member` holds in `group`, wherever it was granted.
+  virtual ReleaseResult release(MemberId member, GroupId group) = 0;
+};
+
 /// Fold one shard's release result into an accumulated one — the single
 /// merge rule every sharded facade (sequential or parallel) must share, so
 /// a new ReleaseResult field cannot be dropped by one facade and kept by

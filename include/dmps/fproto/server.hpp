@@ -3,10 +3,12 @@
 //
 // Registers the client->server message types on its transport endpoint
 // (SimTransport in scenarios, UdpEndpoint behind dmps_floord), runs
-// every FloorRequest through the FloorService facade, and answers with
-// Grant / Deny / Queued. The server is the retransmission-tolerant half of
-// the protocol: request and release handling is *idempotent* — a request id
-// that was already decided gets its stored reply resent without
+// every FloorRequest through the floorctl::FloorControl seam — a plain
+// FloorService, or a ShardedFloorService shared by several servers when
+// the daemon runs sharded (one server per shard endpoint) — and answers
+// with Grant / Deny / Queued. The server is the retransmission-tolerant
+// half of the protocol: request and release handling is *idempotent* — a
+// request id that was already decided gets its stored reply resent without
 // re-arbitration, a release of an already-released grant is re-acked — so
 // client retries under loss can never double-allocate or double-free floor
 // resources.
@@ -62,7 +64,7 @@ struct ServerConfig {
 class FloorServer {
  public:
   FloorServer(transport::Endpoint& endpoint, floorctl::GroupRegistry& registry,
-              floorctl::FloorService& service, ServerConfig config);
+              floorctl::FloorControl& service, ServerConfig config);
   ~FloorServer();
   FloorServer(const FloorServer&) = delete;
   FloorServer& operator=(const FloorServer&) = delete;
@@ -124,7 +126,7 @@ class FloorServer {
 
   transport::Endpoint& ep_;
   floorctl::GroupRegistry& registry_;
-  floorctl::FloorService& service_;
+  floorctl::FloorControl& service_;
   ServerConfig config_;
 
   std::unordered_map<std::uint64_t, DecisionRecord> decided_;  // by request id

@@ -151,6 +151,12 @@ struct WireInstruments {
   Counter& udp_drop_unknown_kind;    // wire.udp.drop_unknown_kind
   Counter& udp_drop_unhandled;       // wire.udp.drop_unhandled (no handler for type)
   Counter& udp_send_failures;        // wire.udp.send_failures (sendto errors)
+  // Batch I/O shape: datagrams moved per recvmmsg/sendmmsg syscall. A mean
+  // near 1 means the endpoint pays one syscall per datagram (idle or
+  // trickle traffic); under load the daemon's rx mean should sit well
+  // above 1 — that amortization is the whole point of the batch path.
+  Histogram& udp_rx_batch;           // wire.udp.rx_batch
+  Histogram& udp_tx_batch;           // wire.udp.tx_batch
 
   explicit WireInstruments(MetricsRegistry& registry);
   static WireInstruments& global();

@@ -6,7 +6,8 @@
 // number of UdpEndpoints — plus arbitrary extra fds like a signalfd —
 // register on one loop; one thread drives it via poll()/run_while().
 // Loopback tests put an agent endpoint and a server endpoint on the same
-// loop in one process; dmps_floord runs one endpoint per daemon.
+// loop in one process; dmps_floord runs one endpoint per *shard*, all on
+// one loop.
 //
 // A UdpEndpoint is one bound, non-blocking UDP socket speaking the
 // transport frame (transport/frame.hpp) over a WireSchema. Peers are
@@ -17,6 +18,18 @@
 // always a valid reply target, which is all fproto's learn-the-station
 // logic needs.
 //
+// I/O is batch-first (DESIGN.md §9.3a). Receive drains up to kRxBatch
+// datagrams per recvmmsg() syscall into arrays preallocated at
+// construction; send() coalesces outbound frames into a flush buffer that
+// goes to the kernel in one sendmmsg() — when the buffer fills, or at the
+// latest at the end of the current loop turn (UdpLoop::poll() flushes
+// every endpoint after dispatching handlers and timers, and again before
+// blocking, so a datagram sent outside the loop never waits out an epoll
+// timeout). Buffered order is send order, so per-peer ordering is exactly
+// what a serial sendto() loop would produce. Batch sizes are recorded in
+// the wire.udp.rx_batch / tx_batch histograms; the steady state allocates
+// nothing (PR 6 arena discipline).
+//
 // Untrusted bytes never crash the loop: every malformed, foreign-version,
 // unknown-kind or unhandled datagram increments its own wire.udp.* drop
 // counter (obs::WireInstruments) and is discarded.
@@ -26,6 +39,9 @@
 // transmitted — the UDP analogue of SimNetwork's lossy links.
 
 #ifdef __linux__
+
+#include <netinet/in.h>
+#include <sys/socket.h>
 
 #include <cstdint>
 #include <functional>
@@ -41,6 +57,8 @@
 #include "transport/timer_wheel.hpp"
 
 namespace dmps::transport {
+
+class UdpEndpoint;
 
 class UdpLoop {
  public:
@@ -96,11 +114,20 @@ class UdpLoop {
   }
 
  private:
+  friend class UdpEndpoint;
+
+  /// Endpoints register here at construction so poll() can flush their
+  /// coalesced send buffers at the turn boundaries (see flush_endpoints).
+  void attach(UdpEndpoint* endpoint) DMPS_REQUIRES(on_loop);
+  void detach(UdpEndpoint* endpoint) DMPS_REQUIRES(on_loop);
+  void flush_endpoints() DMPS_REQUIRES(on_loop);
+
   int epoll_fd_ = -1;      // set in the ctor, const after
   std::int64_t epoch_ns_ = 0;  // set in the ctor, const after
   TimerWheel wheel_ DMPS_GUARDED_BY(on_loop);
   std::unordered_map<int, std::function<void()>> fd_handlers_
       DMPS_GUARDED_BY(on_loop);
+  std::vector<UdpEndpoint*> endpoints_ DMPS_GUARDED_BY(on_loop);
   bool stopped_ DMPS_GUARDED_BY(on_loop) = false;
 };
 
@@ -117,6 +144,15 @@ class LoopClock final : public clk::Clock {
 
 class UdpEndpoint final : public Endpoint {
  public:
+  /// Datagrams moved per syscall, both directions. Receive drains up to
+  /// kRxBatch frames per recvmmsg; send coalesces up to kTxBatch frames
+  /// before a buffer-full sendmmsg (the loop flushes partial buffers at
+  /// every turn boundary). 32 keeps the preallocated buffers at ~64 KiB
+  /// rx + ~6 KiB tx per endpoint while covering the daemon's observed
+  /// burst sizes.
+  static constexpr std::size_t kRxBatch = 32;
+  static constexpr std::size_t kTxBatch = 32;
+
   /// Bind 0.0.0.0:`port` (0 = any free port; read it back with
   /// local_port()). Throws std::runtime_error if the socket can't be
   /// created or bound. `obs` nullptr = the process-global pack.
@@ -128,6 +164,11 @@ class UdpEndpoint final : public Endpoint {
 
   /// Intern a known peer address (idempotent per address).
   net::NodeId add_peer(const std::string& ipv4, std::uint16_t port);
+
+  /// Push every coalesced outbound datagram to the kernel now (one or more
+  /// sendmmsg calls). UdpLoop::poll() calls this at turn boundaries;
+  /// callers sending outside the loop may force it to bound latency.
+  void flush();
 
   /// Drop outbound datagrams the filter rejects — after counting them as
   /// transmitted, so retransmit arithmetic matches a real lossy wire.
@@ -173,6 +214,30 @@ class UdpEndpoint final : public Endpoint {
   std::function<bool(net::NodeId, net::MsgType)> send_filter_
       DMPS_GUARDED_BY(loop_.on_loop);
   obs::WireInstruments* wire_;
+
+  // --- Batch I/O state, all preallocated in the ctor (steady state is
+  // alloc-free). rx: recvmmsg scatters into kRxBatch fixed slots; tx: send()
+  // encodes into the next free slot and flush() hands the filled prefix to
+  // sendmmsg. The mmsghdr/iovec arrays are wired to the slot storage once,
+  // at construction — per-call work is only resetting msg_namelen (rx) and
+  // msg_iov lengths (tx).
+  struct RxSlot {
+    std::uint8_t bytes[2048];  // > kFrameMaxBytes: oversized datagrams are
+                               // received whole and dropped as malformed
+    ::sockaddr_in from;
+  };
+  struct TxSlot {
+    std::uint8_t bytes[kFrameMaxBytes];
+    ::sockaddr_in to;
+    std::size_t len = 0;
+  };
+  std::vector<RxSlot> rx_slots_ DMPS_GUARDED_BY(loop_.on_loop);
+  std::vector<::mmsghdr> rx_msgs_ DMPS_GUARDED_BY(loop_.on_loop);
+  std::vector<::iovec> rx_iovs_ DMPS_GUARDED_BY(loop_.on_loop);
+  std::vector<TxSlot> tx_slots_ DMPS_GUARDED_BY(loop_.on_loop);
+  std::vector<::mmsghdr> tx_msgs_ DMPS_GUARDED_BY(loop_.on_loop);
+  std::vector<::iovec> tx_iovs_ DMPS_GUARDED_BY(loop_.on_loop);
+  std::size_t tx_pending_ DMPS_GUARDED_BY(loop_.on_loop) = 0;
 };
 
 }  // namespace dmps::transport

@@ -14,7 +14,7 @@ std::uint64_t request_seq(std::uint64_t request_id) {
 }  // namespace
 
 FloorServer::FloorServer(transport::Endpoint& endpoint, floorctl::GroupRegistry& registry,
-                         floorctl::FloorService& service, ServerConfig config)
+                         floorctl::FloorControl& service, ServerConfig config)
     : ep_(endpoint),
       registry_(registry),
       service_(service),

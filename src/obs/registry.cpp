@@ -203,7 +203,9 @@ WireInstruments::WireInstruments(MetricsRegistry& registry)
       udp_drop_version(registry.counter("wire.udp.drop_version")),
       udp_drop_unknown_kind(registry.counter("wire.udp.drop_unknown_kind")),
       udp_drop_unhandled(registry.counter("wire.udp.drop_unhandled")),
-      udp_send_failures(registry.counter("wire.udp.send_failures")) {}
+      udp_send_failures(registry.counter("wire.udp.send_failures")),
+      udp_rx_batch(registry.histogram("wire.udp.rx_batch")),
+      udp_tx_batch(registry.histogram("wire.udp.tx_batch")) {}
 // dmps-lint: obs-register-end
 
 WireInstruments& WireInstruments::global() {

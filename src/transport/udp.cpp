@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -63,6 +64,11 @@ void UdpLoop::remove_fd(int fd) {
 
 void UdpLoop::poll(util::Duration max_wait) {
   on_loop.assert_held();
+  // Turn entry: push anything buffered since the last turn (a join() sent
+  // before run_while, a test's direct send) to the kernel before blocking,
+  // so a coalesced datagram never waits out an epoll timeout.
+  flush_endpoints();
+
   // Armed timers bound the wait to one wheel tick so a deadline is never
   // late by more than the tick resolution.
   std::int64_t wait_ms = max_wait.raw_nanos() / 1'000'000;
@@ -79,11 +85,25 @@ void UdpLoop::poll(util::Duration max_wait) {
     if (it != fd_handlers_.end()) it->second();
   }
   wheel_.advance(now());
+  // Turn exit: handler replies and timer-driven sends from this turn go out
+  // as one sendmmsg per endpoint.
+  flush_endpoints();
 }
 
 void UdpLoop::run_while(const std::function<bool()>& keep_going) {
   on_loop.assert_held();
   while (!stopped_ && keep_going()) poll();
+}
+
+void UdpLoop::attach(UdpEndpoint* endpoint) { endpoints_.push_back(endpoint); }
+
+void UdpLoop::detach(UdpEndpoint* endpoint) {
+  endpoints_.erase(std::remove(endpoints_.begin(), endpoints_.end(), endpoint),
+                   endpoints_.end());
+}
+
+void UdpLoop::flush_endpoints() {
+  for (UdpEndpoint* endpoint : endpoints_) endpoint->flush();
 }
 
 // ------------------------------------------------------------- UdpEndpoint
@@ -111,6 +131,35 @@ UdpEndpoint::UdpEndpoint(UdpLoop& loop, WireSchema schema, std::uint16_t port,
   if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     local_port_ = ntohs(addr.sin_port);
   }
+
+  // Wire the batch arrays once; per-syscall work is only resetting the
+  // fields the kernel overwrites (rx msg_namelen, tx iov_len).
+  rx_slots_.resize(kRxBatch);
+  rx_iovs_.resize(kRxBatch);
+  rx_msgs_.resize(kRxBatch);
+  for (std::size_t i = 0; i < kRxBatch; ++i) {
+    rx_iovs_[i] = {};
+    rx_iovs_[i].iov_base = rx_slots_[i].bytes;
+    rx_iovs_[i].iov_len = sizeof(rx_slots_[i].bytes);
+    rx_msgs_[i] = {};
+    rx_msgs_[i].msg_hdr.msg_iov = &rx_iovs_[i];
+    rx_msgs_[i].msg_hdr.msg_iovlen = 1;
+    rx_msgs_[i].msg_hdr.msg_name = &rx_slots_[i].from;
+    rx_msgs_[i].msg_hdr.msg_namelen = sizeof(rx_slots_[i].from);
+  }
+  tx_slots_.resize(kTxBatch);
+  tx_iovs_.resize(kTxBatch);
+  tx_msgs_.resize(kTxBatch);
+  for (std::size_t i = 0; i < kTxBatch; ++i) {
+    tx_iovs_[i] = {};
+    tx_iovs_[i].iov_base = tx_slots_[i].bytes;
+    tx_msgs_[i] = {};
+    tx_msgs_[i].msg_hdr.msg_iov = &tx_iovs_[i];
+    tx_msgs_[i].msg_hdr.msg_iovlen = 1;
+    tx_msgs_[i].msg_hdr.msg_name = &tx_slots_[i].to;
+    tx_msgs_[i].msg_hdr.msg_namelen = sizeof(tx_slots_[i].to);
+  }
+
   // The readiness callback fires from poll(), i.e. on the loop thread by
   // construction — the assert states that for the analysis.
   if (!loop_.add_fd(fd_, [this] {
@@ -120,9 +169,14 @@ UdpEndpoint::UdpEndpoint(UdpLoop& loop, WireSchema schema, std::uint16_t port,
     close(fd_);
     throw std::runtime_error("epoll add failed for udp socket");
   }
+  loop_.on_loop.assert_held();
+  loop_.attach(this);
 }
 
 UdpEndpoint::~UdpEndpoint() {
+  loop_.on_loop.assert_held();
+  flush();  // don't strand coalesced datagrams buffered this turn
+  loop_.detach(this);
   loop_.remove_fd(fd_);
   close(fd_);
 }
@@ -167,6 +221,8 @@ void UdpEndpoint::off(net::MsgType type) {
   if (index < handlers_.size()) handlers_[index] = nullptr;
 }
 
+// dmps-lint: hot-begin(udp-tx) — per-datagram send path plus the sendmmsg
+// flush; encoding goes straight into the preallocated slot, no copies.
 void UdpEndpoint::send(net::NodeId to, net::MsgType type, net::Payload ints) {
   loop_.on_loop.assert_held();
   const auto wire_id = wire_ids_.find(type.value());
@@ -175,27 +231,51 @@ void UdpEndpoint::send(net::NodeId to, net::MsgType type, net::Payload ints) {
     wire_->udp_send_failures.add();  // not in the schema / unknown peer
     return;
   }
-  std::uint8_t buf[kFrameMaxBytes];
-  const std::size_t size = encode_frame(wire_id->second, ints, buf, sizeof(buf));
+  if (tx_pending_ == kTxBatch) flush();  // buffer full: early flush
+  TxSlot& slot = tx_slots_[tx_pending_];
+  const std::size_t size =
+      encode_frame(wire_id->second, ints, slot.bytes, sizeof(slot.bytes));
   if (size == 0) {
     wire_->udp_send_failures.add();
     return;
   }
   // The datagram is "on the wire" from here: a rejecting send filter is the
-  // wire eating it, indistinguishable from real loss to the caller.
+  // wire eating it, indistinguishable from real loss to the caller. A
+  // filtered datagram never reaches the buffer, so it can't be flushed.
   wire_->udp_tx_datagrams.add();
   if (send_filter_ && !send_filter_(to, type)) return;
 
   const Peer& peer = peers_[to.value()];
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = peer.ip_be;
-  addr.sin_port = peer.port_be;
-  if (sendto(fd_, buf, size, 0, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-    wire_->udp_send_failures.add();
-  }
+  slot.to = {};
+  slot.to.sin_family = AF_INET;
+  slot.to.sin_addr.s_addr = peer.ip_be;
+  slot.to.sin_port = peer.port_be;
+  slot.len = size;
+  tx_iovs_[tx_pending_].iov_len = size;
+  ++tx_pending_;
 }
+
+void UdpEndpoint::flush() {
+  loop_.on_loop.assert_held();
+  std::size_t off = 0;
+  while (off < tx_pending_) {
+    const int sent = sendmmsg(fd_, &tx_msgs_[off],
+                              static_cast<unsigned>(tx_pending_ - off), 0);
+    if (sent > 0) {
+      wire_->udp_tx_batch.record(sent);
+      off += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    // The head datagram is unsendable (or the socket buffer is full — UDP
+    // semantics: drop rather than block the loop). Count it, skip it, keep
+    // going so one bad peer can't strand the rest of the batch.
+    wire_->udp_send_failures.add();
+    ++off;
+  }
+  tx_pending_ = 0;
+}
+// dmps-lint: hot-end
 
 transport::TimerId UdpEndpoint::schedule_in(util::Duration delay,
                                             std::function<void()> cb) {
@@ -207,50 +287,61 @@ bool UdpEndpoint::cancel(TimerId id) { return loop_.wheel().cancel(id); }
 // dmps-lint: hot-begin(udp-rx) — the per-datagram receive path; decode,
 // route and dispatch must stay allocation- and rehash-free.
 void UdpEndpoint::drain_socket() {
-  // Level-triggered epoll still drains to EAGAIN: one wakeup, all queued
-  // datagrams, so a request burst can't starve the timer wheel behind
-  // per-poll single reads.
-  std::uint8_t buf[2048];
+  // Level-triggered epoll still drains the queue: one wakeup, every queued
+  // datagram, kRxBatch of them per recvmmsg syscall — a request burst can't
+  // starve the timer wheel behind per-poll single reads, and the syscall
+  // cost amortizes across the burst.
   for (;;) {
-    sockaddr_in src{};
-    socklen_t src_len = sizeof(src);
-    const ssize_t n = recvfrom(fd_, buf, sizeof(buf), 0,
-                               reinterpret_cast<sockaddr*>(&src), &src_len);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      return;  // transient socket error; next poll retries
+    for (std::size_t i = 0; i < kRxBatch; ++i) {
+      // The kernel shrank these to the actual source-address size last call.
+      rx_msgs_[i].msg_hdr.msg_namelen = sizeof(rx_slots_[i].from);
     }
-    wire_->udp_rx_datagrams.add();
+    const int n =
+        recvmmsg(fd_, rx_msgs_.data(), static_cast<unsigned>(kRxBatch), 0,
+                 nullptr);
+    if (n <= 0) {
+      // EAGAIN/EWOULDBLOCK: drained. EINTR or a transient socket error:
+      // level-triggered epoll re-fires if anything is still queued.
+      return;
+    }
+    wire_->udp_rx_batch.record(n);
+    for (int i = 0; i < n; ++i) {
+      wire_->udp_rx_datagrams.add();
 
-    Frame frame;
-    switch (decode_frame(buf, static_cast<std::size_t>(n), frame)) {
-      case FrameError::kOk:
-        break;
-      case FrameError::kBadVersion:
-        wire_->udp_drop_version.add();
+      Frame frame;
+      switch (decode_frame(rx_slots_[i].bytes, rx_msgs_[i].msg_len, frame)) {
+        case FrameError::kOk:
+          break;
+        case FrameError::kBadVersion:
+          wire_->udp_drop_version.add();
+          continue;
+        case FrameError::kShort:
+        case FrameError::kBadMagic:
+        case FrameError::kBadLaneCount:
+          wire_->udp_drop_malformed.add();
+          continue;
+      }
+      if (frame.kind >= schema_.types.size()) {
+        wire_->udp_drop_unknown_kind.add();
         continue;
-      case FrameError::kShort:
-      case FrameError::kBadMagic:
-      case FrameError::kBadLaneCount:
-        wire_->udp_drop_malformed.add();
+      }
+      const net::MsgType type = schema_.types[frame.kind];
+      const std::size_t index = type.value();
+      if (index >= handlers_.size() || !handlers_[index]) {
+        wire_->udp_drop_unhandled.add();
         continue;
+      }
+      net::Message msg;
+      msg.from = intern_peer(rx_slots_[i].from.sin_addr.s_addr,
+                             rx_slots_[i].from.sin_port);
+      msg.to = net::NodeId::invalid();  // "this endpoint"; handlers reply to from
+      msg.type = type;
+      msg.ints = std::move(frame.ints);
+      handlers_[index](msg);
     }
-    if (frame.kind >= schema_.types.size()) {
-      wire_->udp_drop_unknown_kind.add();
-      continue;
-    }
-    const net::MsgType type = schema_.types[frame.kind];
-    const std::size_t index = type.value();
-    if (index >= handlers_.size() || !handlers_[index]) {
-      wire_->udp_drop_unhandled.add();
-      continue;
-    }
-    net::Message msg;
-    msg.from = intern_peer(src.sin_addr.s_addr, src.sin_port);
-    msg.to = net::NodeId::invalid();  // "this endpoint"; handlers reply to from
-    msg.type = type;
-    msg.ints = std::move(frame.ints);
-    handlers_[index](msg);
+    // Fewer than a full batch means the queue was empty when we asked;
+    // anything that arrived since re-arms epoll.
+    if (static_cast<std::size_t>(n) < kRxBatch) return;
   }
 }
 // dmps-lint: hot-end

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "clock/drift_clock.hpp"
+#include "floor/sharded_service.hpp"
 #include "fproto/agent.hpp"
 #include "fproto/codec.hpp"
 #include "fproto/server.hpp"
@@ -484,6 +485,198 @@ TEST(UdpTransport, HostileDatagramsAreCountedAndDropped) {
   auto& s = w.add_station("a", 1);
   ASSERT_TRUE(s.agent->join());
   EXPECT_TRUE(w.run_until([&] { return s.joined == 1; }));
+}
+
+TEST(UdpTransport, RxBatchDrainsMixedDatagramsInOneAdvance) {
+  UdpWorld w;
+  // Queue a burst — valid joins among hostile datagrams — while the loop is
+  // *not* polling, then drain. recvmmsg must take the whole queue in one
+  // syscall without losing a single per-class drop counter to batching.
+  const int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_port = htons(w.server_ep.local_port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &to.sin_addr), 1);
+  const auto blast = [&](const std::uint8_t* data, std::size_t len) {
+    ASSERT_EQ(sendto(fd, data, len, 0, reinterpret_cast<sockaddr*>(&to),
+                     sizeof(to)),
+              static_cast<ssize_t>(len));
+  };
+
+  // Four valid Join frames (the server handles kJoin) …
+  const floorctl::MemberId member =
+      w.registry.add_member("burst", 1, floorctl::HostId{1});
+  std::uint8_t join_frame[transport::kFrameMaxBytes];
+  const std::size_t join_size = transport::encode_frame(
+      static_cast<std::uint8_t>(MsgKind::kJoin),
+      fproto::encode(fproto::JoinMsg{member, w.group}), join_frame,
+      sizeof(join_frame));
+  ASSERT_GT(join_size, 0u);
+  for (int i = 0; i < 4; ++i) blast(join_frame, join_size);
+
+  // … interleaved with one of each hostile class.
+  const std::uint8_t runt[3] = {0x44, 0x4D, 0x50};
+  blast(runt, sizeof(runt));  // malformed (short)
+  std::uint8_t garbage[24];
+  std::memset(garbage, 0xAB, sizeof(garbage));
+  blast(garbage, sizeof(garbage));  // malformed (magic)
+  std::uint8_t frame[transport::kFrameMaxBytes];
+  const std::size_t ok_size =
+      transport::encode_frame(0, fproto::encode(fproto::QueuedMsg{1}), frame,
+                              sizeof(frame));
+  ASSERT_GT(ok_size, 0u);
+  frame[4] = transport::kFrameVersion + 9;
+  blast(frame, ok_size);  // foreign version
+  frame[4] = transport::kFrameVersion;
+  frame[5] = 0xEE;
+  blast(frame, ok_size);  // unknown kind
+  frame[5] = static_cast<std::uint8_t>(MsgKind::kQueued);
+  blast(frame, ok_size);  // valid but server-unhandled
+
+  // All nine datagrams are queued on the server socket before this poll, so
+  // one recvmmsg drains them — one histogram sample covering the burst.
+  w.loop.poll(Duration::millis(50));
+  close(fd);
+
+  EXPECT_EQ(w.metrics.value("wire.udp.rx_datagrams"), 9);
+  EXPECT_EQ(w.metrics.value("wire.udp.drop_malformed"), 2);
+  EXPECT_EQ(w.metrics.value("wire.udp.drop_version"), 1);
+  EXPECT_EQ(w.metrics.value("wire.udp.drop_unknown_kind"), 1);
+  EXPECT_EQ(w.metrics.value("wire.udp.drop_unhandled"), 1);
+  EXPECT_EQ(w.wire.udp_rx_batch.count(), 1u);
+  EXPECT_EQ(w.wire.udp_rx_batch.sum(), 9);
+}
+
+TEST(UdpTransport, TxCoalescingPreservesPerPeerOrdering) {
+  transport::UdpLoop loop;
+  obs::MetricsRegistry metrics;
+  obs::WireInstruments wire{metrics};
+  transport::UdpEndpoint sender{loop, fproto::wire_schema(), 0, &wire};
+  transport::UdpEndpoint receiver_b{loop, fproto::wire_schema(), 0, &wire};
+  transport::UdpEndpoint receiver_c{loop, fproto::wire_schema(), 0, &wire};
+  const net::NodeId to_b = sender.add_peer("127.0.0.1", receiver_b.local_port());
+  const net::NodeId to_c = sender.add_peer("127.0.0.1", receiver_c.local_port());
+
+  const net::MsgType type = fproto::wire_type(MsgKind::kQueued);
+  std::vector<std::int64_t> got_b, got_c;
+  ASSERT_TRUE(receiver_b.on(
+      type, [&](const net::Message& msg) { got_b.push_back(msg.ints[0]); }));
+  ASSERT_TRUE(receiver_c.on(
+      type, [&](const net::Message& msg) { got_c.push_back(msg.ints[0]); }));
+
+  // Twenty sends to two interleaved peers, all coalesced in the sender's
+  // flush buffer (nothing has polled yet). The flush must replay each
+  // peer's subsequence exactly in send order.
+  for (std::int64_t i = 0; i < 20; ++i) {
+    sender.send(i % 2 == 0 ? to_b : to_c, type, {i});
+  }
+  const TimePoint deadline = loop.now() + Duration::seconds(5);
+  loop.run_while([&] {
+    return loop.now() < deadline && (got_b.size() < 10 || got_c.size() < 10);
+  });
+
+  ASSERT_EQ(got_b.size(), 10u);
+  ASSERT_EQ(got_c.size(), 10u);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(got_b[static_cast<std::size_t>(i)], 2 * i);
+    EXPECT_EQ(got_c[static_cast<std::size_t>(i)], 2 * i + 1);
+  }
+  // The whole burst left in one sendmmsg: one tx batch sample of 20.
+  EXPECT_EQ(wire.udp_tx_batch.count(), 1u);
+  EXPECT_EQ(wire.udp_tx_batch.sum(), 20);
+  EXPECT_EQ(metrics.value("wire.udp.send_failures"), 0);
+}
+
+TEST(UdpTransport, ShardedServersShareOneFloorControl) {
+  // The daemon's sharded shape, in-process: two shard endpoints on one
+  // loop, each with its own FloorServer, both fronting one
+  // ShardedFloorService through the FloorControl seam. Agents route by host
+  // exactly as the wire_common convention does, and nobody gets stuck.
+  transport::UdpLoop loop;
+  obs::MetricsRegistry metrics;
+  obs::WireInstruments wire{metrics};
+  transport::LoopClock clock{loop};
+  transport::UdpEndpoint shard0{loop, fproto::wire_schema(), 0, &wire};
+  transport::UdpEndpoint shard1{loop, fproto::wire_schema(), 0, &wire};
+
+  floorctl::GroupRegistry registry;
+  const floorctl::MemberId chair =
+      registry.add_member("chair", 100, floorctl::HostId{1});
+  const floorctl::GroupId group =
+      registry.create_group("g", floorctl::FcmMode::kFreeAccess, chair);
+  const floorctl::MemberId m1 =
+      registry.add_member("m1", 1, floorctl::HostId{1});
+  const floorctl::MemberId m2 =
+      registry.add_member("m2", 2, floorctl::HostId{2});
+
+  floorctl::ShardedFloorService service{registry, clock,
+                                        resource::Thresholds{0.25, 0.05}};
+  service.add_host(floorctl::HostId{1}, resource::Resource{1.0, 1.0, 1.0});
+  service.add_host(floorctl::HostId{2}, resource::Resource{1.0, 1.0, 1.0});
+  ASSERT_EQ(service.shard_count(), 2u);
+
+  fproto::ServerConfig server_config;
+  server_config.notify_retry = Duration::millis(50);
+  server_config.obs = &wire;
+  fproto::FloorServer server0{shard0, registry, service, server_config};
+  fproto::FloorServer server1{shard1, registry, service, server_config};
+
+  struct Station {
+    std::unique_ptr<transport::UdpEndpoint> endpoint;
+    std::unique_ptr<fproto::FloorAgent> agent;
+    int joined = 0, granted = 0, released = 0, failed = 0;
+  };
+  const auto make_station = [&](floorctl::MemberId member,
+                                floorctl::HostId host,
+                                transport::UdpEndpoint& shard_ep) {
+    auto s = std::make_unique<Station>();
+    s->endpoint = std::make_unique<transport::UdpEndpoint>(
+        loop, fproto::wire_schema(), 0, &wire);
+    const net::NodeId server_node =
+        s->endpoint->add_peer("127.0.0.1", shard_ep.local_port());
+    fproto::AgentConfig config;
+    config.retry = Duration::millis(30);
+    config.max_tries = 100;
+    config.obs = &wire;
+    fproto::AgentEvents events;
+    Station& ref = *s;
+    events.on_joined = [&ref] { ++ref.joined; };
+    events.on_granted = [&ref](std::uint64_t, bool) { ++ref.granted; };
+    events.on_released = [&ref](std::uint64_t) { ++ref.released; };
+    events.on_failed = [&ref](fproto::AgentState) { ++ref.failed; };
+    s->agent = std::make_unique<fproto::FloorAgent>(
+        *s->endpoint, server_node, member, group, host, config, events);
+    return s;
+  };
+  // Host 1 -> shard 0, host 2 -> shard 1 ((host-1) % shards).
+  const auto s1 = make_station(m1, floorctl::HostId{1}, shard0);
+  const auto s2 = make_station(m2, floorctl::HostId{2}, shard1);
+
+  const auto run_until = [&](const std::function<bool()>& done) {
+    const TimePoint deadline = loop.now() + Duration::seconds(5);
+    loop.run_while([&] { return loop.now() < deadline && !done(); });
+    return done();
+  };
+
+  ASSERT_TRUE(s1->agent->join());
+  ASSERT_TRUE(s2->agent->join());
+  ASSERT_TRUE(run_until([&] { return s1->joined == 1 && s2->joined == 1; }));
+
+  // Different hosts, so both requests land on their own shard's capacity
+  // and both must be granted.
+  s1->agent->request_floor(media::QosRequirement{0.4, 0.4, 0.4});
+  s2->agent->request_floor(media::QosRequirement{0.4, 0.4, 0.4});
+  ASSERT_TRUE(run_until([&] { return s1->granted == 1 && s2->granted == 1; }));
+  EXPECT_EQ(service.active_grants(), 2u);
+
+  ASSERT_TRUE(s1->agent->release_floor());
+  ASSERT_TRUE(s2->agent->release_floor());
+  ASSERT_TRUE(
+      run_until([&] { return s1->released == 1 && s2->released == 1; }));
+  EXPECT_EQ(service.active_grants(), 0u);
+  EXPECT_EQ(s1->failed + s2->failed, 0);
+  EXPECT_EQ(metrics.value("wire.server.arbitrations"), 2);
 }
 
 #endif  // __linux__

@@ -1,18 +1,21 @@
 // dmps_floord: the floor-control daemon — fproto::FloorServer on real UDP.
 //
-// One process, one thread, one epoll loop: a UdpEndpoint speaking the
-// transport frame, a FloorService arbitrating on wall time, and a
-// FloorServer gluing them together exactly as it runs over SimNetwork in
-// the tests. Members/groups/hosts are pre-registered from the topology
-// convention in wire_common.hpp; clients (dmps_loadgen) learn nothing from
-// the daemon but its address.
+// One process, one thread, one epoll loop — and N shards. Each shard is a
+// UdpEndpoint bound to its own consecutive port (--port, --port+1, …) with
+// its own fproto::FloorServer; all servers front one ShardedFloorService
+// (per-host resource managers, shared conference) through the
+// floorctl::FloorControl seam, so which port a request lands on never
+// affects arbitration. Members/groups/hosts and the host→shard port map
+// are the topology convention in wire_common.hpp; clients (dmps_loadgen)
+// learn nothing from the daemon but its base address.
 //
-//   dmps_floord --port 4711 --hosts 4 --groups 4 --members 64
-//               [--capacity 4.0 --policy queueing]
+//   dmps_floord --port 4711 --shards 2 --hosts 4 --groups 4 --members 64
+//               [--capacity 4.0 --policy queueing --metrics-out PATH]
 //
 // Signals (all handled on the loop via signalfd, never in handler
 // context):
-//   SIGUSR1        dump a metrics JSON snapshot to stdout
+//   SIGUSR1        dump a metrics JSON snapshot (stdout, and --metrics-out
+//                  when given)
 //   SIGINT/SIGTERM graceful shutdown — stop the loop, release every
 //                  outstanding grant (sweeping freed hosts), dump final
 //                  metrics, exit 0.
@@ -22,11 +25,14 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "floor/group.hpp"
-#include "floor/service.hpp"
+#include "floor/sharded_service.hpp"
 #include "fproto/codec.hpp"
 #include "fproto/server.hpp"
 #include "obs/registry.hpp"
@@ -43,6 +49,7 @@ struct Options {
   int members = 64;
   double capacity = 4.0;
   floorctl::PolicyKind policy = floorctl::PolicyKind::kThreeRegime;
+  std::string metrics_out;  // empty = stdout only
 };
 
 Options parse(int argc, char** argv) {
@@ -53,9 +60,12 @@ Options parse(int argc, char** argv) {
       tools::flag_long(argc, argv, "--hosts", opt.topology.hosts));
   opt.topology.groups = static_cast<int>(
       tools::flag_long(argc, argv, "--groups", opt.topology.groups));
+  opt.topology.shards = static_cast<int>(
+      tools::flag_long(argc, argv, "--shards", opt.topology.shards));
   opt.members =
       static_cast<int>(tools::flag_long(argc, argv, "--members", opt.members));
   opt.capacity = tools::flag_double(argc, argv, "--capacity", opt.capacity);
+  opt.metrics_out = tools::flag_string(argc, argv, "--metrics-out", "");
   const std::string policy =
       tools::flag_string(argc, argv, "--policy", "three_regime");
   if (policy == "queueing") {
@@ -63,6 +73,10 @@ Options parse(int argc, char** argv) {
   } else if (policy != "three_regime") {
     std::fprintf(stderr, "dmps_floord: unknown --policy '%s' "
                          "(three_regime|queueing)\n", policy.c_str());
+    std::exit(2);
+  }
+  if (opt.topology.shards < 1 || opt.topology.shards > opt.topology.hosts) {
+    std::fprintf(stderr, "dmps_floord: --shards must be in [1, --hosts]\n");
     std::exit(2);
   }
   return opt;
@@ -81,7 +95,20 @@ int main(int argc, char** argv) {
 
   transport::UdpLoop loop;
   transport::LoopClock clock(loop);
-  transport::UdpEndpoint endpoint(loop, fproto::wire_schema(), opt.port, &wire);
+
+  // One endpoint per shard on consecutive ports. Shard 0 binds --port
+  // (0 = ephemeral); the rest follow its actual port, so `--port 0
+  // --shards N` still yields a contiguous block.
+  std::vector<std::unique_ptr<transport::UdpEndpoint>> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(opt.topology.shards));
+  endpoints.push_back(std::make_unique<transport::UdpEndpoint>(
+      loop, fproto::wire_schema(), opt.port, &wire));
+  const std::uint16_t base_port = endpoints[0]->local_port();
+  for (int s = 1; s < opt.topology.shards; ++s) {
+    endpoints.push_back(std::make_unique<transport::UdpEndpoint>(
+        loop, fproto::wire_schema(),
+        static_cast<std::uint16_t>(base_port + s), &wire));
+  }
 
   // The conference, pre-registered under one snapshot publish.
   floorctl::GroupRegistry registry;
@@ -106,9 +133,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  floorctl::FloorService service(registry, clock,
-                                 resource::Thresholds{0.25, 0.05});
-  service.set_instruments(&floor);
+  // One per-host-sharded floor core behind every endpoint: requests route
+  // by FloorRequest::host no matter which port carried them, so arbitration
+  // is identical at any shard count.
+  floorctl::ShardedFloorService service(registry, clock,
+                                        resource::Thresholds{0.25, 0.05});
+  service.set_observability(&floor, nullptr);
   for (int h = 0; h < opt.topology.hosts; ++h) {
     service.add_host(floorctl::HostId{static_cast<std::uint32_t>(1 + h)},
                      resource::Resource{opt.capacity, opt.capacity, opt.capacity});
@@ -117,9 +147,27 @@ int main(int argc, char** argv) {
   fproto::ServerConfig server_config;
   server_config.notify_retry = util::Duration::millis(100);
   server_config.obs = &wire;
-  fproto::FloorServer server(endpoint, registry, service, server_config);
+  // One FloorServer per shard endpoint. An agent always talks to the port
+  // its host maps to (WireTopology::port_of), so its per-member protocol
+  // state (request-id dedup, learned station) lives in exactly one server.
+  std::vector<std::unique_ptr<fproto::FloorServer>> servers;
+  servers.reserve(endpoints.size());
+  for (auto& endpoint : endpoints) {
+    servers.push_back(std::make_unique<fproto::FloorServer>(
+        *endpoint, registry, service, server_config));
+  }
 
   metrics.freeze();  // setup done; hot-path registration is a bug from here
+
+  const auto dump_metrics = [&] {
+    metrics.write_json(std::cout);
+    std::cout << '\n' << std::flush;  // the dump must reach its reader now
+    if (!opt.metrics_out.empty()) {
+      std::ofstream out(opt.metrics_out, std::ios::trunc);
+      metrics.write_json(out);
+      out << '\n';
+    }
+  };
 
   // Signals arrive as loop events: block them process-wide, read them from
   // a signalfd on the same epoll that serves datagrams.
@@ -141,8 +189,7 @@ int main(int argc, char** argv) {
     signalfd_siginfo info;
     while (read(signal_fd, &info, sizeof(info)) == sizeof(info)) {
       if (info.ssi_signo == SIGUSR1) {
-        metrics.write_json(std::cout);
-        std::cout << '\n' << std::flush;  // the dump must reach its reader now
+        dump_metrics();
       } else {
         loop.stop();
       }
@@ -150,9 +197,11 @@ int main(int argc, char** argv) {
   });
 
   std::fprintf(stderr,
-               "dmps_floord: listening on udp/%u (hosts=%d groups=%d "
-               "members=%d capacity=%.2f policy=%s)\n",
-               endpoint.local_port(), opt.topology.hosts, opt.topology.groups,
+               "dmps_floord: listening on udp/%u-%u (shards=%d hosts=%d "
+               "groups=%d members=%d capacity=%.2f policy=%s)\n",
+               base_port,
+               static_cast<unsigned>(base_port + opt.topology.shards - 1),
+               opt.topology.shards, opt.topology.hosts, opt.topology.groups,
                opt.members, opt.capacity,
                std::string(to_string(opt.policy)).c_str());
 
@@ -171,8 +220,7 @@ int main(int argc, char** argv) {
   for (int h = 0; h < opt.topology.hosts; ++h) {
     service.sweep(floorctl::HostId{static_cast<std::uint32_t>(1 + h)});
   }
-  metrics.write_json(std::cout);
-  std::cout << '\n' << std::flush;  // the dump must reach its reader now
+  dump_metrics();
   close(signal_fd);
   return 0;
 }

@@ -11,15 +11,32 @@
 // signal, and the exit code is nonzero.
 //
 //   dmps_loadgen --host 127.0.0.1 --port 4711 --agents 32 --duration 2
-//                [--hosts 4 --groups 4 --name wire_loadgen]
+//                [--hosts 4 --groups 4 --shards 1 --name wire_loadgen]
+//                [--spawn PATH/dmps_floord]
 //
-// Output: a scenario table (and BENCH_<name>.json via bench_common.hpp)
+// --shards routes each agent to its host's daemon port (the wire_common
+// convention; must match the daemon's --shards). --spawn makes the loadgen
+// own the daemon too: fork/exec the given dmps_floord with a matching
+// topology, run the load, SIGTERM it, and require a clean exit — and since
+// the daemon dumps its metrics to --metrics-out on shutdown, the daemon's
+// rx/tx batch-size histograms (where the batching actually pays, many
+// clients per shard socket) land in this bench's JSON next to the
+// client-side ones.
+//
+// Output: scenario tables (and BENCH_<name>.json via bench_common.hpp)
 // with grant-latency percentiles measured request→grant at the client,
-// ops/s, retransmit and datagram counts, and the stuck-agent total.
+// ops/s, retransmit and datagram counts, the stuck-agent total, and
+// rx/tx batch-size histograms for both sides of the wire.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -45,7 +62,30 @@ struct Options {
   long hold_ms = 10;
   tools::WireTopology topology;
   std::string name = "wire_loadgen";
+  std::string spawn;  // path to a dmps_floord to own; empty = external daemon
 };
+
+/// Where a spawned daemon dumps its metrics on shutdown (read back into the
+/// BENCH json as the daemon-side batch histograms).
+constexpr const char* kSpawnMetricsPath = "dmps_floord_metrics.json";
+
+/// fork/exec a dmps_floord whose topology matches ours. The child inherits
+/// stdio; agents' join retransmits absorb its startup latency.
+pid_t spawn_floord(const Options& opt) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  const std::string port = std::to_string(opt.port);
+  const std::string shards = std::to_string(opt.topology.shards);
+  const std::string hosts = std::to_string(opt.topology.hosts);
+  const std::string groups = std::to_string(opt.topology.groups);
+  const std::string members = std::to_string(opt.agents);
+  execl(opt.spawn.c_str(), opt.spawn.c_str(), "--port", port.c_str(),
+        "--shards", shards.c_str(), "--hosts", hosts.c_str(), "--groups",
+        groups.c_str(), "--members", members.c_str(), "--metrics-out",
+        kSpawnMetricsPath, static_cast<char*>(nullptr));
+  std::perror("dmps_loadgen: exec dmps_floord");
+  _exit(127);
+}
 
 struct Client {
   std::unique_ptr<transport::UdpEndpoint> endpoint;
@@ -92,7 +132,19 @@ int main(int argc, char** argv) {
       tools::flag_long(argc, argv, "--hosts", opt.topology.hosts));
   opt.topology.groups = static_cast<int>(
       tools::flag_long(argc, argv, "--groups", opt.topology.groups));
+  opt.topology.shards = static_cast<int>(
+      tools::flag_long(argc, argv, "--shards", opt.topology.shards));
   opt.name = tools::flag_string(argc, argv, "--name", opt.name.c_str());
+  opt.spawn = tools::flag_string(argc, argv, "--spawn", "");
+
+  pid_t daemon_pid = -1;
+  if (!opt.spawn.empty()) {
+    daemon_pid = spawn_floord(opt);
+    if (daemon_pid < 0) {
+      std::perror("dmps_loadgen: fork");
+      return 1;
+    }
+  }
 
   const transport::WireSchema schema = fproto::wire_schema();
   run.clients.reserve(static_cast<std::size_t>(opt.agents));
@@ -104,7 +156,11 @@ int main(int argc, char** argv) {
     run.clients.push_back(std::move(client));
     c.endpoint = std::make_unique<transport::UdpEndpoint>(run.loop, schema,
                                                           0, &run.wire);
-    c.server = c.endpoint->add_peer(opt.host, opt.port);
+    // The shard convention: this agent's host decides which daemon port it
+    // talks to (port_of degenerates to --port when --shards is 1).
+    c.server = c.endpoint->add_peer(
+        opt.host,
+        static_cast<std::uint16_t>(opt.topology.port_of(i, opt.port)));
 
     fproto::AgentConfig config;
     config.retry = Duration::millis(40);
@@ -216,11 +272,73 @@ int main(int argc, char** argv) {
           value("wire.udp.drop_unknown_kind") +
           value("wire.udp.drop_unhandled"),
       stuck, failed);
+
+  // Batch-size histograms, client side: one socket per agent, so the rx
+  // mean hovers near 1 here — the daemon-side table below is where the
+  // amortization shows.
+  bench::table_header(
+      "wire loadgen: client batch I/O (datagrams per syscall)",
+      "dir | count | sum | mean | p50 | p90 | p99");
+  const auto batch_row = [](const char* dir, long long count, long long sum,
+                            double mean, long long p50, long long p90,
+                            long long p99) {
+    bench::row("%3s | %9lld | %9lld | %6.2f | %4lld | %4lld | %4lld", dir,
+               count, sum, mean, p50, p90, p99);
+  };
+  const auto& rx = run.wire.udp_rx_batch;
+  const auto& tx = run.wire.udp_tx_batch;
+  batch_row("rx", static_cast<long long>(rx.count()),
+            static_cast<long long>(rx.sum()),
+            rx.count() > 0 ? static_cast<double>(rx.sum()) /
+                                 static_cast<double>(rx.count())
+                           : 0.0,
+            rx.quantile(0.50), rx.quantile(0.90), rx.quantile(0.99));
+  batch_row("tx", static_cast<long long>(tx.count()),
+            static_cast<long long>(tx.sum()),
+            tx.count() > 0 ? static_cast<double>(tx.sum()) /
+                                 static_cast<double>(tx.count())
+                           : 0.0,
+            tx.quantile(0.50), tx.quantile(0.90), tx.quantile(0.99));
+
+  // Spawned-daemon epilogue: a clean SIGTERM shutdown is part of the pass
+  // criteria, and its --metrics-out dump carries the daemon-side batch
+  // histograms (many agents per shard socket) into this BENCH json.
+  bool daemon_ok = true;
+  if (daemon_pid > 0) {
+    kill(daemon_pid, SIGTERM);
+    int status = 0;
+    if (waitpid(daemon_pid, &status, 0) != daemon_pid ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "dmps_loadgen: dmps_floord did not exit cleanly\n");
+      daemon_ok = false;
+    }
+    std::ifstream metrics_file(kSpawnMetricsPath);
+    std::stringstream buffer;
+    buffer << metrics_file.rdbuf();
+    const std::string daemon_json = buffer.str();
+    const tools::HistogramStats daemon_rx =
+        tools::parse_histogram(daemon_json, "wire.udp.rx_batch");
+    const tools::HistogramStats daemon_tx =
+        tools::parse_histogram(daemon_json, "wire.udp.tx_batch");
+    if (!daemon_rx.found || !daemon_tx.found) {
+      std::fprintf(stderr, "dmps_loadgen: no batch histograms in %s\n",
+                   kSpawnMetricsPath);
+      daemon_ok = false;
+    } else {
+      bench::table_header(
+          "wire loadgen: daemon batch I/O (datagrams per syscall)",
+          "dir | count | sum | mean | p50 | p90 | p99");
+      batch_row("rx", daemon_rx.count, daemon_rx.sum, daemon_rx.mean(),
+                daemon_rx.p50, daemon_rx.p90, daemon_rx.p99);
+      batch_row("tx", daemon_tx.count, daemon_tx.sum, daemon_tx.mean(),
+                daemon_tx.p50, daemon_tx.p90, daemon_tx.p99);
+    }
+  }
   bench::write_json(opt.name, {});
 
-  if (stuck > 0 || failed > 0) {
-    std::fprintf(stderr, "dmps_loadgen: %d stuck, %d failed agents\n", stuck,
-                 failed);
+  if (stuck > 0 || failed > 0 || !daemon_ok) {
+    std::fprintf(stderr, "dmps_loadgen: %d stuck, %d failed agents%s\n", stuck,
+                 failed, daemon_ok ? "" : ", daemon failure");
     return 1;
   }
   return 0;

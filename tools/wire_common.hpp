@@ -10,10 +10,19 @@
 //   group  i % groups   agent i's group    (groups minted in order, ids 0..)
 //   host   1 + i % hosts  agent i's home station
 //
+// Sharding extends the map to ports (docs/OPERATIONS.md): a daemon started
+// with --shards S binds S consecutive UDP ports (--port, --port+1, …), one
+// endpoint per shard, and host h lives on shard (h - 1) % S — so an agent
+// derives its daemon port from its own host id and nothing else. S = 1 is
+// the unsharded daemon; hosts should be a multiple of shards or the load
+// skews.
+//
 // floord must be started with --members >= the loadgen's --agents and the
-// same --hosts/--groups, or the daemon refuses the unknown ids (exactly as
-// it would any stranger's datagram).
+// same --hosts/--groups/--shards, or the daemon refuses the unknown ids
+// (exactly as it would any stranger's datagram) / agents knock on a port
+// nobody bound.
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -52,10 +61,53 @@ inline std::string flag_string(int argc, char** argv, const char* name,
 struct WireTopology {
   int hosts = 4;
   int groups = 4;
+  int shards = 1;
 
   int member_of(int agent) const { return 1 + agent; }
   int group_of(int agent) const { return agent % groups; }
   int host_of(int agent) const { return 1 + agent % hosts; }
+
+  /// Which of the daemon's endpoints serves `host` (0-based shard index).
+  int shard_of_host(int host) const { return (host - 1) % shards; }
+  /// The UDP port agent `agent` must talk to, given the daemon's base port.
+  int port_of(int agent, int base_port) const {
+    return base_port + shard_of_host(host_of(agent));
+  }
 };
+
+/// One histogram as MetricsRegistry::write_json prints it. mean() is the
+/// derived figure the batch-size acceptance gate reads (datagrams per
+/// syscall).
+struct HistogramStats {
+  long long count = 0;
+  long long sum = 0;
+  long long p50 = 0;
+  long long p90 = 0;
+  long long p99 = 0;
+  bool found = false;
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// Extract one named histogram from a MetricsRegistry JSON snapshot (the
+/// exact format write_json emits — this reads back our own dump, e.g. the
+/// daemon's --metrics-out file, not arbitrary JSON).
+inline HistogramStats parse_histogram(const std::string& json,
+                                      const std::string& name) {
+  HistogramStats stats;
+  const std::string key = "\"" + name + "\":{";
+  const auto at = json.find(key);
+  if (at == std::string::npos) return stats;
+  stats.found =
+      std::sscanf(json.c_str() + at + key.size() - 1,
+                  "{\"count\":%lld,\"sum\":%lld,\"p50\":%lld,\"p90\":%lld,"
+                  "\"p99\":%lld",
+                  &stats.count, &stats.sum, &stats.p50, &stats.p90,
+                  &stats.p99) == 5;
+  return stats;
+}
 
 }  // namespace dmps::tools
